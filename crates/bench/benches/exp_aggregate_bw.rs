@@ -1,0 +1,95 @@
+//! E11 — Aggregate bandwidth: Autonet vs an FDDI-style ring (§1, §3.2).
+//!
+//! Paper: "with FDDI the aggregate network bandwidth is limited to the
+//! link bandwidth; with Autonet the aggregate bandwidth can be many times
+//! the link bandwidth." Permutation traffic (every host streams to a
+//! distinct partner) is the pattern where parallel switched paths pay off.
+
+use autonet_bench::{converge, print_table};
+use autonet_net::{workload, NetParams, TokenRing};
+use autonet_sim::{SimDuration, SimTime};
+use autonet_topo::gen;
+
+/// Delivered aggregate goodput for a permutation workload on an Autonet
+/// torus with one host per switch.
+fn autonet_goodput(w: usize, h: usize, seed: u64) -> (usize, f64) {
+    let mut topo = gen::torus(w, h, seed);
+    let n = topo.num_switches();
+    for s in 0..n {
+        topo.attach_host(
+            autonet_wire::Uid::new(0xAA_0000 + s as u64),
+            autonet_topo::SwitchId(s),
+            None,
+        )
+        .expect("free port");
+    }
+    let frames = 120usize;
+    let len = 1400usize;
+    let interval = SimDuration::from_micros(150); // ~75 Mbit/s offered per host.
+    let sends = workload::permutation(&topo, SimTime::from_secs(6), frames, interval, len, seed);
+    let mut net = converge(topo, NetParams::tuned(), seed);
+    net.run_for(SimTime::from_secs(6).saturating_since(net.now()));
+    let start = net.now();
+    for s in &sends {
+        net.schedule_host_send(s.at, s.from, s.to, s.len, s.tag);
+    }
+    net.run_for(SimDuration::from_secs(4));
+    let delivered_bytes: usize = net
+        .deliveries()
+        .iter()
+        .filter(|d| d.tag > 0)
+        .map(|d| d.len)
+        .sum();
+    let last = net
+        .deliveries()
+        .iter()
+        .filter(|d| d.tag > 0)
+        .map(|d| d.time)
+        .max()
+        .unwrap_or(start);
+    let span = last.saturating_since(start).as_secs_f64().max(1e-9);
+    (n, delivered_bytes as f64 * 8.0 / span)
+}
+
+/// The same offered frames pushed through a 100 Mbit/s token ring.
+fn ring_goodput(stations: usize, frames: usize, len: usize) -> f64 {
+    let mut ring = TokenRing::new_100mbps(stations);
+    let mut now = SimTime::ZERO;
+    for _ in 0..stations * frames {
+        now = ring.transmit(now, len);
+    }
+    ring.goodput_bps()
+}
+
+fn main() {
+    println!("E11: aggregate bandwidth, permutation traffic");
+    println!("(every host streams 120 x 1400 B to a distinct partner)");
+    let mut rows = Vec::new();
+    for (w, h) in [(2, 2), (2, 4), (4, 4), (4, 8)] {
+        let (hosts, autonet_bps) = autonet_goodput(w, h, 7);
+        let ring_bps = ring_goodput(hosts, 120, 1400);
+        rows.push(vec![
+            format!("{hosts} hosts (torus {w}x{h})"),
+            format!("{:.0} Mbit/s", autonet_bps / 1e6),
+            format!("{:.0} Mbit/s", ring_bps / 1e6),
+            format!("{:.1}x", autonet_bps / ring_bps),
+        ]);
+    }
+    print_table(
+        "E11: delivered aggregate goodput (link rate 100 Mbit/s)",
+        &[
+            "network size",
+            "Autonet (switched)",
+            "FDDI-style ring",
+            "advantage",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: the ring is pinned just under the 100 Mbit/s link\n\
+         rate regardless of size; Autonet's aggregate grows with the number\n\
+         of disjoint paths, passing the link rate already at a handful of\n\
+         hosts and reaching several times it on larger tori (the up*/down*\n\
+         root hotspot keeps it below the bisection ideal)."
+    );
+}

@@ -1,0 +1,136 @@
+//! E7 — The broadcast deadlock of Figure 9 and the size limit of the fix
+//! (§6.2, §6.6.6).
+//!
+//! Part 1 replays Figure 9: without ignore-stop-until-end, the network
+//! deadlocks; with it, everything drains. Part 2 sweeps the broadcast size
+//! under the fix: the FIFO must absorb a whole broadcast that began under
+//! `start`, so `B ≤ N − (1 − f)N − (S − 1) − 128.2·L`; for N = 4096,
+//! f = 0.5, S = 256 and short links that is ≈ 1780 bytes — comfortably
+//! above the ≈ 1550-byte maximum Ethernet-encapsulating broadcast the
+//! paper needs. Beyond the capacity headroom, overflows begin.
+
+use autonet_bench::print_table;
+use autonet_switch::datapath::{DatapathConfig, DatapathSim, DpHostId, RunOutcome};
+use autonet_switch::{ForwardingEntry, PortSet};
+use autonet_wire::ShortAddress;
+
+const ADDR_C: u16 = 0x0100;
+
+/// The Figure 9 network (see `examples/broadcast_deadlock.rs` for the
+/// port map).
+fn build_fig9(config: DatapathConfig) -> (DatapathSim, [DpHostId; 3]) {
+    let mut sim = DatapathSim::new(config);
+    let v = sim.add_switch();
+    let w = sim.add_switch();
+    let x = sim.add_switch();
+    let y = sim.add_switch();
+    let z = sim.add_switch();
+    let a = sim.add_host();
+    let b = sim.add_host();
+    let c = sim.add_host();
+    sim.connect_host(a, v, 1, 7);
+    sim.connect_host(b, w, 1, 7);
+    sim.connect_host(c, z, 1, 7);
+    sim.connect_switches(v, 2, w, 2, 7);
+    sim.connect_switches(v, 3, x, 1, 7);
+    sim.connect_switches(x, 2, z, 2, 7);
+    sim.connect_switches(w, 3, y, 1, 129);
+    sim.connect_switches(y, 2, z, 3, 7);
+    let c_addr = ShortAddress::from_raw(ADDR_C);
+    let bc = ShortAddress::BROADCAST_HOSTS;
+    sim.table_mut(w)
+        .set(1, c_addr, ForwardingEntry::alternatives(PortSet::single(3)));
+    sim.table_mut(y)
+        .set(1, c_addr, ForwardingEntry::alternatives(PortSet::single(2)));
+    sim.table_mut(z)
+        .set(3, c_addr, ForwardingEntry::alternatives(PortSet::single(1)));
+    sim.table_mut(v).set(
+        1,
+        bc,
+        ForwardingEntry::simultaneous(PortSet::from_ports([2, 3])),
+    );
+    sim.table_mut(w).set(
+        2,
+        bc,
+        ForwardingEntry::simultaneous(PortSet::from_ports([1, 3])),
+    );
+    sim.table_mut(x)
+        .set(1, bc, ForwardingEntry::simultaneous(PortSet::single(2)));
+    sim.table_mut(z)
+        .set(2, bc, ForwardingEntry::simultaneous(PortSet::single(1)));
+    (sim, [a, b, c])
+}
+
+fn fig9(ignore_stop: bool, bcast_len: usize) -> (RunOutcome, usize, u64) {
+    let config = DatapathConfig {
+        broadcast_ignores_stop: ignore_stop,
+        ..DatapathConfig::default()
+    };
+    let (mut sim, [a, b, _]) = build_fig9(config);
+    sim.send(b, ShortAddress::from_raw(ADDR_C), 12_000, false);
+    sim.send(a, ShortAddress::BROADCAST_HOSTS, bcast_len, true);
+    let outcome = sim.run_until_drained(4_000_000, 16_384);
+    (outcome, sim.deliveries().len(), sim.stats().fifo_overflows)
+}
+
+fn main() {
+    println!("E7: broadcast deadlock (Figure 9) and the fix's size limit");
+
+    // Part 1: the deadlock and the fix.
+    let mut rows = Vec::new();
+    for (name, fix) in [
+        ("honor stop (no fix)", false),
+        ("ignore stop (the fix)", true),
+    ] {
+        let (outcome, delivered, overflows) = fig9(fix, 3000);
+        rows.push(vec![
+            name.to_string(),
+            format!("{outcome:?}"),
+            delivered.to_string(),
+            overflows.to_string(),
+        ]);
+    }
+    print_table(
+        "E7a: Figure 9 scenario, 3000-byte broadcast",
+        &[
+            "broadcast transmitters",
+            "outcome",
+            "deliveries",
+            "FIFO overflows",
+        ],
+        &rows,
+    );
+
+    // Part 2: sweep broadcast size under the fix. The stalled copy at W
+    // must fit in the 4096-entry FIFO; the paper's engineering limit keeps
+    // B under N - (1-f)N - (S-1) - 128.2L ≈ 1780 so it would fit even
+    // behind a worst-case backlog.
+    let mut rows = Vec::new();
+    for b_len in [1000usize, 1550, 1780, 3000, 4000, 4200] {
+        let (outcome, _, overflows) = fig9(true, b_len);
+        let paper_safe = b_len <= 1780;
+        rows.push(vec![
+            b_len.to_string(),
+            if paper_safe { "yes" } else { "no" }.to_string(),
+            format!("{outcome:?}"),
+            overflows.to_string(),
+        ]);
+    }
+    print_table(
+        "E7b: broadcast size sweep with the fix enabled",
+        &[
+            "broadcast bytes",
+            "within paper bound (<=1780)",
+            "outcome",
+            "FIFO overflows",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: without the fix the classic cycle wedges; with it,\n\
+         broadcasts up to (and beyond) the paper's conservative bound drain\n\
+         cleanly, and only broadcasts approaching the raw 4096-entry FIFO\n\
+         capacity overflow — the engineering margin the paper's 1550-byte\n\
+         broadcast limit guarantees."
+    );
+}

@@ -1,0 +1,125 @@
+//! E9 — Alternate host ports: failover timing (§3.9, §6.8.3).
+//!
+//! Paper: a host tries to contact its switch, escalates after silence, and
+//! switches links after three seconds without contact; failover "usually
+//! can be done without disrupting communication protocols". We crash the
+//! active switch and time the driver's failover, the address re-learn, and
+//! the end-to-end traffic outage, across a sweep of the failover threshold.
+
+use autonet_bench::{ms, print_table};
+use autonet_net::{NetEventKind, NetParams, Network};
+use autonet_sim::{SimDuration, SimTime};
+use autonet_topo::{gen, HostId};
+
+struct Outcome {
+    failover: SimDuration,
+    relearn: SimDuration,
+    outage: SimDuration,
+}
+
+fn run(threshold: SimDuration, seed: u64) -> Outcome {
+    let mut topo = gen::ring(4, 51);
+    gen::add_dual_homed_hosts(&mut topo, 1, 53);
+    let mut params = NetParams::tuned();
+    params.host.failover_threshold = threshold;
+    let mut net = Network::new(topo, params, seed);
+    net.run_until_stable(SimTime::from_secs(60))
+        .expect("converges");
+    net.run_for(SimDuration::from_secs(3));
+    let h = HostId(0);
+    let peer = HostId(2);
+    let dst = net.topology().host(h).uid;
+    // A steady ping stream at 50 ms so the outage window is visible.
+    let t0 = net.now();
+    for i in 0..600u64 {
+        net.schedule_host_send(
+            t0 + SimDuration::from_millis(50) * i,
+            peer,
+            dst,
+            128,
+            10_000 + i,
+        );
+    }
+    let crash_at = t0 + SimDuration::from_secs(2);
+    let victim = net.topology().host(h).primary.switch;
+    net.schedule_switch_down(crash_at, victim);
+    net.run_for(SimDuration::from_secs(28));
+    let mut failover = None;
+    let mut relearn = None;
+    for e in net.events() {
+        if e.time <= crash_at {
+            continue;
+        }
+        match e.kind {
+            NetEventKind::HostPortSwitched(hid, _) if hid == h => {
+                failover.get_or_insert(e.time);
+            }
+            NetEventKind::HostAddressLearned(hid, _) if hid == h && failover.is_some() => {
+                relearn.get_or_insert(e.time);
+            }
+            _ => {}
+        }
+    }
+    let failover = failover.expect("failover happens");
+    let relearn = relearn.expect("address relearned");
+    // Outage: gap between the last pre-crash delivery and the first
+    // post-recovery delivery to the host.
+    let last_before = net
+        .deliveries()
+        .iter()
+        .filter(|d| d.host == h && d.time <= crash_at)
+        .map(|d| d.time)
+        .max()
+        .unwrap_or(crash_at);
+    let first_after = net
+        .deliveries()
+        .iter()
+        .filter(|d| d.host == h && d.time > crash_at)
+        .map(|d| d.time)
+        .min()
+        .expect("traffic resumes");
+    Outcome {
+        failover: failover.saturating_since(crash_at),
+        relearn: relearn.saturating_since(crash_at),
+        outage: first_after.saturating_since(last_before),
+    }
+}
+
+fn main() {
+    println!("E9: host failover after the active switch crashes");
+    println!("(4-switch ring, dual-homed hosts, 50 ms ping stream)");
+    let mut rows = Vec::new();
+    for (label, threshold, paper) in [
+        ("threshold 1 s", SimDuration::from_secs(1), "-"),
+        ("threshold 3 s (paper)", SimDuration::from_secs(3), "~3 s"),
+        ("threshold 5 s", SimDuration::from_secs(5), "-"),
+    ] {
+        let o = run(threshold, 61);
+        rows.push(vec![
+            label.to_string(),
+            paper.to_string(),
+            ms(o.failover),
+            ms(o.relearn),
+            ms(o.outage),
+        ]);
+    }
+    print_table(
+        "E9: failover timing vs driver threshold",
+        &[
+            "configuration",
+            "paper",
+            "failover after crash",
+            "address re-learned",
+            "traffic outage",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: failover tracks the configured threshold (minus up\n\
+         to one liveness interval of pre-crash silence); the outage is the\n\
+         threshold plus a few hundred milliseconds of re-learning and\n\
+         gratuitous-ARP propagation — no reconfiguration of the switch\n\
+         fabric is needed for a host-side failover (the crash itself also\n\
+         triggers one, concurrently)."
+    );
+}

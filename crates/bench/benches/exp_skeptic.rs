@@ -1,0 +1,77 @@
+//! E8 — Skeptic hysteresis: responsiveness vs stability (§4.4, §6.5.5).
+//!
+//! Paper: faults must be responded to quickly, but an intermittent link
+//! must be "ignored for progressively longer periods" so it cannot thrash
+//! the network. We flap one ring link at several rates and count the
+//! reconfigurations it manages to cause, with the skeptics enabled and
+//! with them neutered; we also verify a clean single fault is still
+//! handled in tens of milliseconds.
+
+use autonet_bench::{converge, measure_reconfiguration, ms, print_table};
+use autonet_net::NetParams;
+use autonet_sim::SimDuration;
+use autonet_topo::{gen, LinkId};
+
+/// Reconfigurations triggered during a flap barrage plus the settle time.
+fn flap_run(params: NetParams, half_period: SimDuration, cycles: usize, seed: u64) -> u64 {
+    let topo = gen::ring(6, 17);
+    let mut net = converge(topo, params, seed);
+    let before = net.total_reconfigs_triggered();
+    let start = net.now() + SimDuration::from_millis(50);
+    net.schedule_link_flaps(start, LinkId(0), half_period, cycles);
+    // Observe the barrage window plus a settling tail.
+    let window = half_period.saturating_mul(2 * cycles as u64) + SimDuration::from_secs(2);
+    net.run_for(SimDuration::from_millis(50) + window);
+    net.total_reconfigs_triggered() - before
+}
+
+fn main() {
+    println!("E8: skeptic hysteresis against a flapping link");
+    println!("(6-switch ring; one link flaps down/up for 30 cycles)");
+    let with = NetParams::tuned();
+    let mut without = NetParams::tuned();
+    // Neutered skeptics: no growing holds, instant readmission.
+    without.autopilot.status_min_hold = SimDuration::from_millis(10);
+    without.autopilot.status_max_hold = SimDuration::from_millis(10);
+    without.autopilot.conn_min_hold = SimDuration::from_millis(10);
+    without.autopilot.conn_max_hold = SimDuration::from_millis(10);
+
+    let mut rows = Vec::new();
+    for (label, half) in [
+        ("flap every 50 ms", SimDuration::from_millis(50)),
+        ("flap every 100 ms", SimDuration::from_millis(100)),
+        ("flap every 250 ms", SimDuration::from_millis(250)),
+        ("flap every 1 s", SimDuration::from_secs(1)),
+    ] {
+        let n_with = flap_run(with, half, 30, 3);
+        let n_without = flap_run(without, half, 30, 3);
+        rows.push(vec![
+            label.to_string(),
+            n_with.to_string(),
+            n_without.to_string(),
+        ]);
+    }
+    print_table(
+        "E8: reconfigurations caused by 30 flap cycles",
+        &["flap rate", "with skeptics", "skeptics neutered"],
+        &rows,
+    );
+
+    // Responsiveness: a clean single fault is still handled promptly.
+    let topo = gen::ring(6, 17);
+    let mut net = converge(topo, with, 9);
+    let m = measure_reconfiguration(&mut net, LinkId(2)).expect("reconverges");
+    println!(
+        "\nsingle clean fault: detection {} + reconfiguration {} = {}",
+        ms(m.detection),
+        ms(m.reconfiguration),
+        ms(m.total)
+    );
+    println!(
+        "\nShape check: with skeptics the flapping link is quarantined after\n\
+         its first few offenses (reconfiguration count far below two per\n\
+         cycle and nearly flat across flap rates); neutered hysteresis lets\n\
+         every cycle thrash the network. A clean fault is still handled in\n\
+         tens of milliseconds — responsiveness is not sacrificed."
+    );
+}

@@ -1,0 +1,141 @@
+//! Criterion microbenchmarks for the hot paths: forwarding-table lookups
+//! (the per-packet cost the crossbar hardware performs), the FCFC
+//! scheduling round (one per 480 ns in hardware), route computation (the
+//! per-switch cost of reconfiguration step 5), the control-message codec,
+//! CRC-32, and the LocalNet cache (the "15 instructions per packet" path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use autonet_core::{
+    compute_forwarding_table, global_from_view_simple, ControlMsg, Epoch, RouteComputer, RouteKind,
+    TreePosition,
+};
+use autonet_host::{EthFrame, LocalNet, IP_ETHERTYPE};
+use autonet_sim::SimTime;
+use autonet_switch::{
+    FcfcScheduler, ForwardingEntry, ForwardingTable, PortSet, Request, Scheduler,
+};
+use autonet_topo::gen;
+use autonet_wire::{crc32, Packet, PacketType, ShortAddress, Uid};
+
+fn bench_forwarding_lookup(c: &mut Criterion) {
+    let mut table = ForwardingTable::new();
+    for sw in 1..=30u16 {
+        for p in 0..13u8 {
+            table.set_switch_prefix(p, sw, ForwardingEntry::alternatives(PortSet::single(3)));
+        }
+    }
+    let addr = ShortAddress::assigned(17, 4);
+    c.bench_function("forwarding_table_lookup", |b| {
+        b.iter(|| black_box(table.lookup(black_box(5), black_box(addr))))
+    });
+}
+
+fn bench_scheduler_round(c: &mut Criterion) {
+    c.bench_function("fcfc_round_13_requests", |b| {
+        b.iter_with_setup(
+            || {
+                let mut s = FcfcScheduler::new();
+                for p in 0..13u8 {
+                    s.enqueue(Request {
+                        in_port: p,
+                        ports: PortSet::from_ports([(p + 1) % 13, (p + 2) % 13]),
+                        broadcast: p % 4 == 0,
+                    });
+                }
+                s
+            },
+            |mut s| {
+                black_box(s.round(PortSet::from_bits(0x1FFF)));
+            },
+        )
+    });
+}
+
+fn bench_route_computation(c: &mut Criterion) {
+    let topo = gen::src_network(1991);
+    let global = global_from_view_simple(&topo.view_all()).expect("non-empty");
+    let uid = global.switches[0].uid;
+    c.bench_function("compute_forwarding_table_src30", |b| {
+        b.iter(|| {
+            black_box(compute_forwarding_table(
+                black_box(&global),
+                uid,
+                &[5, 6, 7, 8],
+                RouteKind::UpDown,
+            ))
+        })
+    });
+    c.bench_function("deadlock_analysis_src30", |b| {
+        b.iter(|| {
+            let rc = RouteComputer::new(black_box(&global));
+            black_box(rc.has_dependency_cycle(RouteKind::UpDown))
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = ControlMsg::TreePositionAck {
+        epoch: Epoch(42),
+        seq: 17,
+        is_parent: true,
+        sender_seq: 18,
+        sender_from_port: 3,
+        sender_pos: TreePosition::myself(Uid::new(0xABCDEF)),
+    };
+    let bytes = msg.encode();
+    c.bench_function("control_msg_encode", |b| b.iter(|| black_box(msg.encode())));
+    c.bench_function("control_msg_decode", |b| {
+        b.iter(|| black_box(ControlMsg::decode(black_box(&bytes)).unwrap()))
+    });
+    let packet = Packet::new(
+        ShortAddress::assigned(3, 4),
+        ShortAddress::assigned(5, 6),
+        PacketType::Data,
+        vec![0xA5u8; 1500],
+    );
+    let wire = packet.encode();
+    c.bench_function("packet_decode_1500B", |b| {
+        b.iter(|| black_box(Packet::decode(black_box(&wire)).unwrap()))
+    });
+}
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0x5Au8; 1500];
+    c.bench_function("crc32_1500B", |b| {
+        b.iter(|| black_box(crc32(black_box(&data))))
+    });
+}
+
+fn bench_localnet_cache(c: &mut Criterion) {
+    let mut ln = LocalNet::new(Uid::new(1));
+    ln.set_own_address(ShortAddress::assigned(1, 1));
+    // Prime the cache with 100 peers.
+    for i in 0..100u64 {
+        let frame = EthFrame::new(Uid::new(1), Uid::new(100 + i), IP_ETHERTYPE, &b"x"[..]);
+        let pkt = Packet::new(
+            ShortAddress::assigned(1, 1),
+            ShortAddress::assigned(2, (i % 12) as u8),
+            PacketType::Data,
+            frame.encode(),
+        );
+        ln.receive(SimTime::from_secs(1), &pkt);
+    }
+    let frame = EthFrame::new(Uid::new(150), Uid::new(1), IP_ETHERTYPE, vec![0u8; 64]);
+    c.bench_function("localnet_transmit_cached", |b| {
+        b.iter(|| black_box(ln.transmit(SimTime::from_secs(1), black_box(&frame))))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_forwarding_lookup,
+    bench_scheduler_round,
+    bench_route_computation,
+    bench_codec,
+    bench_crc,
+    bench_localnet_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Shared harness utilities for the experiment benches.
+//!
+//! Every `exp_*` bench target reproduces one quantitative claim from the
+//! paper (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! paper-vs-measured record). These helpers keep the benches small:
+//! aligned table printing and the standard converge→fault→measure cycle.
+
+use autonet_net::{NetParams, Network};
+use autonet_sim::{SimDuration, SimTime};
+use autonet_topo::{LinkId, Topology};
+
+/// Prints a titled, column-aligned table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("  {}", line.trim_end());
+    };
+    fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    println!("  {}", "-".repeat(total));
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+/// Formats a duration in engineering-friendly milliseconds.
+pub fn ms(d: SimDuration) -> String {
+    format!("{:.1} ms", d.as_millis_f64())
+}
+
+/// Brings a network up to a consistent state; panics if it cannot.
+pub fn converge(topo: Topology, params: NetParams, seed: u64) -> Network {
+    let mut net = Network::new(topo, params, seed);
+    net.run_until_stable(SimTime::from_secs(120))
+        .expect("network must converge during bring-up");
+    net
+}
+
+/// The timing breakdown of one fault-induced reconfiguration.
+#[derive(Clone, Copy, Debug)]
+pub struct ReconfigMeasurement {
+    /// Fault to the first switch closing (the monitoring tower's
+    /// detection latency).
+    pub detection: SimDuration,
+    /// First switch closed to last switch reopened — the paper's
+    /// definition of reconfiguration time (§6.6.5: from the first
+    /// tree-position packet of the new epoch to the last forwarding-table
+    /// load).
+    pub reconfiguration: SimDuration,
+    /// Fault to fully reopened (what a user experiences).
+    pub total: SimDuration,
+}
+
+/// Injects a link failure into a converged network and measures detection
+/// and reconfiguration latency. Returns `None` if the network never
+/// stabilizes within the deadline.
+pub fn measure_reconfiguration(net: &mut Network, link: LinkId) -> Option<ReconfigMeasurement> {
+    use autonet_net::NetEventKind;
+    let fault_at = net.now() + SimDuration::from_millis(10);
+    let events_before = net.events().len();
+    net.schedule_link_down(fault_at, link);
+    net.run_for(SimDuration::from_millis(20));
+    net.run_until_stable(net.now() + SimDuration::from_secs(120))?;
+    let mut first_closed = None;
+    let mut last_open = None;
+    for e in &net.events()[events_before..] {
+        match e.kind {
+            NetEventKind::SwitchClosed(_) => {
+                first_closed.get_or_insert(e.time);
+            }
+            NetEventKind::SwitchOpened(..) => last_open = Some(e.time),
+            _ => {}
+        }
+    }
+    let first_closed = first_closed?;
+    let last_open = last_open?;
+    Some(ReconfigMeasurement {
+        detection: first_closed.saturating_since(fault_at),
+        reconfiguration: last_open.saturating_since(first_closed),
+        total: last_open.saturating_since(fault_at),
+    })
+}
+
+/// Mean of a slice of durations.
+pub fn mean(durations: &[SimDuration]) -> SimDuration {
+    if durations.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let total: u64 = durations.iter().map(|d| d.as_nanos()).sum();
+    SimDuration::from_nanos(total / durations.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_durations() {
+        let m = mean(&[SimDuration::from_millis(10), SimDuration::from_millis(30)]);
+        assert_eq!(m, SimDuration::from_millis(20));
+        assert_eq!(mean(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Short-address assignment at the root.
+//!
+//! Short addresses are a switch number concatenated with a port number
+//! (companion paper §6.6.3). Each switch proposes to keep the number it
+//! held last epoch (a freshly powered-on switch proposes 1); the root
+//! grants every uncontested proposal, resolves conflicts in favor of the
+//! claimant with the smallest UID, and hands unrequested low numbers to
+//! the losers. Numbers therefore stay stable across epochs, so host short
+//! addresses rarely change.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use autonet_wire::{SwitchNumber, Uid, MAX_SWITCH_NUMBER};
+
+use crate::topology::SwitchInfo;
+
+/// Computes the switch-number assignment for a configuration.
+///
+/// # Panics
+///
+/// Panics if there are more switches than assignable numbers (4094), which
+/// exceeds any buildable Autonet.
+pub fn assign_switch_numbers(switches: &[SwitchInfo]) -> BTreeMap<Uid, SwitchNumber> {
+    assert!(
+        switches.len() <= MAX_SWITCH_NUMBER as usize,
+        "too many switches to number"
+    );
+    // Claimants per valid proposed number, resolved by smallest UID.
+    let mut claims: BTreeMap<SwitchNumber, Vec<Uid>> = BTreeMap::new();
+    for s in switches {
+        let proposal = if (1..=MAX_SWITCH_NUMBER).contains(&s.proposed_number) {
+            s.proposed_number
+        } else {
+            1
+        };
+        claims.entry(proposal).or_default().push(s.uid);
+    }
+    let mut assigned: BTreeMap<Uid, SwitchNumber> = BTreeMap::new();
+    let mut used: BTreeSet<SwitchNumber> = BTreeSet::new();
+    let mut losers: Vec<Uid> = Vec::new();
+    for (number, mut uids) in claims {
+        uids.sort();
+        assigned.insert(uids[0], number);
+        used.insert(number);
+        losers.extend(uids.into_iter().skip(1));
+    }
+    // Losers get the smallest unused numbers, in UID order for determinism.
+    losers.sort();
+    let mut next: SwitchNumber = 1;
+    for uid in losers {
+        while used.contains(&next) {
+            next += 1;
+        }
+        assigned.insert(uid, next);
+        used.insert(next);
+    }
+    assigned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(uid: u64, proposal: SwitchNumber) -> SwitchInfo {
+        SwitchInfo {
+            uid: Uid::new(uid),
+            proposed_number: proposal,
+            parent: Uid::new(uid),
+            parent_port: 0,
+            links: Vec::new(),
+            host_ports: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn uncontested_proposals_granted() {
+        let m = assign_switch_numbers(&[info(5, 10), info(6, 20), info(7, 3)]);
+        assert_eq!(m[&Uid::new(5)], 10);
+        assert_eq!(m[&Uid::new(6)], 20);
+        assert_eq!(m[&Uid::new(7)], 3);
+    }
+
+    #[test]
+    fn conflict_resolved_by_smallest_uid() {
+        let m = assign_switch_numbers(&[info(9, 4), info(2, 4), info(5, 4)]);
+        assert_eq!(m[&Uid::new(2)], 4, "smallest UID keeps the number");
+        // Losers get the smallest unused numbers in UID order.
+        assert_eq!(m[&Uid::new(5)], 1);
+        assert_eq!(m[&Uid::new(9)], 2);
+    }
+
+    #[test]
+    fn fresh_switches_propose_one() {
+        let m = assign_switch_numbers(&[info(1, 1), info(2, 1), info(3, 1)]);
+        assert_eq!(m[&Uid::new(1)], 1);
+        assert_eq!(m[&Uid::new(2)], 2);
+        assert_eq!(m[&Uid::new(3)], 3);
+    }
+
+    #[test]
+    fn assignment_is_a_bijection() {
+        let switches: Vec<SwitchInfo> = (0..50).map(|i| info(i + 1, (i % 7 + 1) as u16)).collect();
+        let m = assign_switch_numbers(&switches);
+        assert_eq!(m.len(), 50);
+        let numbers: BTreeSet<SwitchNumber> = m.values().copied().collect();
+        assert_eq!(numbers.len(), 50, "numbers must be distinct");
+        assert!(numbers
+            .iter()
+            .all(|&n| (1..=MAX_SWITCH_NUMBER).contains(&n)));
+    }
+
+    #[test]
+    fn invalid_proposals_treated_as_one() {
+        let m = assign_switch_numbers(&[info(1, 0), info(2, MAX_SWITCH_NUMBER + 1)]);
+        assert_eq!(m[&Uid::new(1)], 1);
+        assert_eq!(m[&Uid::new(2)], 2);
+    }
+
+    #[test]
+    fn stability_across_epochs() {
+        // Whatever a switch was assigned, proposing it again keeps it.
+        let first = assign_switch_numbers(&[info(3, 1), info(1, 1), info(2, 1)]);
+        let again: Vec<SwitchInfo> = first
+            .iter()
+            .map(|(uid, &num)| info(uid.as_u64(), num))
+            .collect();
+        let second = assign_switch_numbers(&again);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(assign_switch_numbers(&[]).is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! Reconfiguration epochs.
+//!
+//! Every reconfiguration message carries a 64-bit epoch number (companion
+//! paper §6.6.2). A switch initiating a reconfiguration increments its
+//! local epoch; switches join any epoch greater than their own, so
+//! overlapping reconfigurations collapse onto the highest epoch. The
+//! counter is large enough that wraparound will never occur in the life of
+//! an installation.
+
+use std::fmt;
+
+/// A 64-bit reconfiguration epoch number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// The power-on epoch.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// The next epoch, used when initiating a reconfiguration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on wraparound, which cannot occur in practice (2⁶⁴
+    /// reconfigurations).
+    pub fn next(self) -> Epoch {
+        Epoch(self.0.checked_add(1).expect("epoch overflow"))
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_next() {
+        assert!(Epoch(1) > Epoch::ZERO);
+        assert_eq!(Epoch::ZERO.next(), Epoch(1));
+        assert!(Epoch(5).next() > Epoch(5));
+    }
+}

@@ -1,0 +1,60 @@
+//! Autopilot: Autonet's automatic reconfiguration control plane.
+//!
+//! This crate is the reproduction of the SOSP '91 paper's contribution —
+//! the distributed system that lets an arbitrary mesh of switches configure
+//! itself, detect faults and repairs, and recompute deadlock-free routes,
+//! with prompt termination detection so the network reopens quickly:
+//!
+//! - [`PortState`] and the monitoring tower: hardware status bits feed the
+//!   [`StatusSampler`], which classifies ports; the [`ConnectivityMonitor`]
+//!   verifies switch neighbors by packet exchange; two [`Skeptic`]s add the
+//!   hysteresis that keeps flapping links from thrashing the network.
+//! - [`Epoch`]-tagged reconfiguration: any change to the set of usable
+//!   switch-to-switch links starts a higher epoch; all switches converge on
+//!   the highest.
+//! - The distributed spanning tree with termination detection
+//!   ([`TreePosition`], [`ReconfigEngine`]): Perlman's algorithm extended
+//!   with the stability protocol of Rodeheffer and Lamport, so the root
+//!   learns promptly and provably when the tree is complete.
+//! - Topology accumulation up the tree, short-address assignment at the
+//!   root ([`assign_switch_numbers`]), distribution down the tree, and
+//!   local computation of up\*/down\* minimal multipath routes
+//!   ([`compute_forwarding_table`], [`RouteComputer`]).
+//! - [`Autopilot`]: the per-switch control program tying it all together as
+//!   a pure state machine (`on_packet` / `on_status_sample` / `on_tick` →
+//!   actions), directly testable without a simulator and bindable to any
+//!   transport.
+//! - Baselines for the experiments: timeout-based termination
+//!   ([`TerminationMode::RootQuiescence`]) and unrestricted shortest-path
+//!   routing ([`RouteKind::Unrestricted`]).
+
+mod addressing;
+mod autopilot;
+mod connectivity;
+mod epoch;
+mod messages;
+mod params;
+mod port_state;
+mod reconfig;
+mod routes;
+mod sampler;
+mod skeptic;
+mod topology;
+mod tree;
+
+pub use addressing::assign_switch_numbers;
+pub use autopilot::{Action, Autopilot, PortHardwareReport};
+pub use connectivity::{ConnectivityEvent, ConnectivityMonitor, NeighborId};
+pub use epoch::Epoch;
+pub use messages::{ControlMsg, MsgCodecError, SrpPayload};
+pub use params::{AutopilotParams, TerminationMode};
+pub use port_state::PortState;
+pub use reconfig::{NeighborInfo, ReconfigEngine, ReconfigEvent, ReconfigOutput};
+pub use routes::{
+    compute_forwarding_table, global_from_view, global_from_view_simple, program_one_hop,
+    RouteComputer, RouteKind, RoutingStats,
+};
+pub use sampler::{SamplerEvent, StatusSampler};
+pub use skeptic::Skeptic;
+pub use topology::{GlobalTopology, LinkInfo, SubtreeReport, SwitchInfo};
+pub use tree::TreePosition;

@@ -1,0 +1,766 @@
+//! Control-plane messages and their wire codec.
+//!
+//! Everything Autopilot says to a neighbor travels in an Autonet packet
+//! whose payload is one of these messages. Connectivity probes and replies
+//! implement the connectivity monitor (§6.5.4); the four
+//! tree-position/report/down message kinds implement the five-step
+//! reconfiguration (§6.6); the short-address service answers hosts
+//! (§6.3); SRP carries the source-routed debugging protocol (§6.7).
+//!
+//! The codec is hand-rolled big-endian TLV — the control processor had to
+//! do all of this in software, and the experiments charge transmission
+//! time by encoded size, so the encoding is real, not estimated.
+
+use autonet_wire::{PortIndex, ShortAddress, SwitchNumber, Uid};
+
+use crate::epoch::Epoch;
+use crate::topology::{GlobalTopology, LinkInfo, SubtreeReport, SwitchInfo};
+use crate::tree::TreePosition;
+
+/// A control-plane message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ControlMsg {
+    /// Connectivity test packet, sent periodically on `s.switch.*` ports.
+    Probe {
+        /// Matches a reply to its probe.
+        seq: u64,
+        /// The prober's UID.
+        origin: Uid,
+        /// The prober's local port the probe left by.
+        origin_port: PortIndex,
+    },
+    /// Reply to a [`ControlMsg::Probe`]; echoes the probe's identity.
+    ProbeReply {
+        /// The probe's sequence number.
+        seq: u64,
+        /// Echoed prober UID.
+        origin: Uid,
+        /// Echoed prober port.
+        origin_port: PortIndex,
+        /// The responder's UID (equal to `origin` on a looped link).
+        responder: Uid,
+        /// The responder's port the probe arrived on.
+        responder_port: PortIndex,
+    },
+    /// A switch's current tree position, sent to all good neighbors and
+    /// retransmitted until acknowledged.
+    TreePosition {
+        /// The reconfiguration epoch.
+        epoch: Epoch,
+        /// The sender's position sequence number (bumped on every change).
+        seq: u64,
+        /// The sender's local port the message left by, so the receiver
+        /// can tell which of its links a parent claim refers to.
+        from_port: PortIndex,
+        /// The advertised position.
+        pos: TreePosition,
+    },
+    /// Acknowledges a [`ControlMsg::TreePosition`].
+    ///
+    /// The acknowledgment also carries the acker's *own* current position
+    /// (fields `sender_*`). This is what makes termination detection
+    /// sound: a switch cannot count itself stable until every neighbor has
+    /// acknowledged, and each acknowledgment delivers the neighbor's view
+    /// — so a better root known to any neighbor reaches the sender before
+    /// the sender can conclude stability.
+    TreePositionAck {
+        /// The epoch being acknowledged.
+        epoch: Epoch,
+        /// The position sequence number being acknowledged.
+        seq: u64,
+        /// The "this is now my parent link" bit (§6.6.1).
+        is_parent: bool,
+        /// The acker's own state version.
+        sender_seq: u64,
+        /// The acker's local port this ack left by.
+        sender_from_port: PortIndex,
+        /// The acker's current position.
+        sender_pos: TreePosition,
+    },
+    /// The "I am stable" message carrying the stable subtree's topology,
+    /// sent to the parent and retransmitted until acknowledged.
+    TopologyReport {
+        /// The reconfiguration epoch.
+        epoch: Epoch,
+        /// The reporter's position sequence number, so the parent can
+        /// discard reports from abandoned positions.
+        seq: u64,
+        /// The subtree description.
+        report: SubtreeReport,
+    },
+    /// Acknowledges a [`ControlMsg::TopologyReport`].
+    TopologyReportAck {
+        /// The epoch being acknowledged.
+        epoch: Epoch,
+        /// The report's sequence number.
+        seq: u64,
+    },
+    /// The complete topology flooding down the tree from the root.
+    TopologyDown {
+        /// The reconfiguration epoch.
+        epoch: Epoch,
+        /// The global topology, tree and number assignment.
+        global: GlobalTopology,
+    },
+    /// Acknowledges a [`ControlMsg::TopologyDown`].
+    TopologyDownAck {
+        /// The epoch being acknowledged.
+        epoch: Epoch,
+    },
+    /// A host asking the local switch for its short address (sent to
+    /// address `0000`).
+    ShortAddrRequest {
+        /// The asking host's UID.
+        host_uid: Uid,
+    },
+    /// The switch's answer to a [`ControlMsg::ShortAddrRequest`].
+    ShortAddrReply {
+        /// Echoed host UID.
+        host_uid: Uid,
+        /// The short address of the port the request arrived on.
+        addr: ShortAddress,
+    },
+    /// A source-routed debugging packet (§6.7): forwarded control-processor
+    /// to control-processor along `route`. Each forwarding switch appends
+    /// its arrival port to `back_route`, so the target can source-route the
+    /// reply back without any forwarding tables — which is what lets SRP
+    /// work even during reconfiguration.
+    Srp {
+        /// Outbound port numbers, switch by switch.
+        route: Vec<PortIndex>,
+        /// Index of the next hop to take.
+        hop: u8,
+        /// Arrival ports recorded along the way (the return path).
+        back_route: Vec<PortIndex>,
+        /// What the packet asks or answers.
+        payload: SrpPayload,
+    },
+}
+
+/// Payloads of the source-routed protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SrpPayload {
+    /// Liveness check.
+    Ping,
+    /// Answer to [`SrpPayload::Ping`].
+    Pong {
+        /// The answering switch's UID.
+        uid: Uid,
+        /// Its current epoch.
+        epoch: Epoch,
+    },
+    /// Asks for a state summary.
+    GetState,
+    /// Answer to [`SrpPayload::GetState`].
+    State {
+        /// The answering switch's UID.
+        uid: Uid,
+        /// Its current epoch.
+        epoch: Epoch,
+        /// How many ports are in state `s.switch.good`.
+        good_ports: u8,
+        /// Whether host traffic is currently enabled.
+        open: bool,
+    },
+}
+
+/// Errors raised while decoding a control message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgCodecError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// An unknown message or payload tag.
+    BadTag(u8),
+    /// A field held an invalid value.
+    BadValue,
+}
+
+impl std::fmt::Display for MsgCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsgCodecError::Truncated => write!(f, "control message truncated"),
+            MsgCodecError::BadTag(t) => write!(f, "unknown control message tag {t}"),
+            MsgCodecError::BadValue => write!(f, "invalid field value"),
+        }
+    }
+}
+
+impl std::error::Error for MsgCodecError {}
+
+// ---- Encoding helpers ----------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn uid(&mut self, u: Uid) {
+        self.buf.extend_from_slice(&u.to_bytes());
+    }
+
+    fn pos(&mut self, p: &TreePosition) {
+        self.uid(p.root);
+        self.u32(p.level);
+        self.uid(p.parent);
+        self.u8(p.parent_port);
+    }
+
+    fn switch_info(&mut self, s: &SwitchInfo) {
+        self.uid(s.uid);
+        self.u16(s.proposed_number);
+        self.uid(s.parent);
+        self.u8(s.parent_port);
+        self.u16(s.links.len() as u16);
+        for l in &s.links {
+            self.u8(l.local_port);
+            self.uid(l.neighbor);
+            self.u8(l.neighbor_port);
+        }
+        self.u16(s.host_ports.len() as u16);
+        for &p in &s.host_ports {
+            self.u8(p);
+        }
+    }
+
+    fn report(&mut self, r: &SubtreeReport) {
+        self.u16(r.switches.len() as u16);
+        for s in &r.switches {
+            self.switch_info(s);
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MsgCodecError> {
+        if self.at + n > self.buf.len() {
+            return Err(MsgCodecError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, MsgCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, MsgCodecError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, MsgCodecError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, MsgCodecError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn uid(&mut self) -> Result<Uid, MsgCodecError> {
+        Ok(Uid::from_bytes(self.take(6)?.try_into().expect("len 6")))
+    }
+
+    fn pos(&mut self) -> Result<TreePosition, MsgCodecError> {
+        Ok(TreePosition {
+            root: self.uid()?,
+            level: self.u32()?,
+            parent: self.uid()?,
+            parent_port: self.u8()?,
+        })
+    }
+
+    fn switch_info(&mut self) -> Result<SwitchInfo, MsgCodecError> {
+        let uid = self.uid()?;
+        let proposed_number: SwitchNumber = self.u16()?;
+        let parent = self.uid()?;
+        let parent_port = self.u8()?;
+        let n_links = self.u16()? as usize;
+        let mut links = Vec::with_capacity(n_links.min(64));
+        for _ in 0..n_links {
+            links.push(LinkInfo {
+                local_port: self.u8()?,
+                neighbor: self.uid()?,
+                neighbor_port: self.u8()?,
+            });
+        }
+        let n_hosts = self.u16()? as usize;
+        let mut host_ports = Vec::with_capacity(n_hosts.min(16));
+        for _ in 0..n_hosts {
+            host_ports.push(self.u8()?);
+        }
+        Ok(SwitchInfo {
+            uid,
+            proposed_number,
+            parent,
+            parent_port,
+            links,
+            host_ports,
+        })
+    }
+
+    fn report(&mut self) -> Result<SubtreeReport, MsgCodecError> {
+        let n = self.u16()? as usize;
+        let mut switches = Vec::with_capacity(n.min(256));
+        for _ in 0..n {
+            switches.push(self.switch_info()?);
+        }
+        Ok(SubtreeReport { switches })
+    }
+
+    fn done(&self) -> Result<(), MsgCodecError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(MsgCodecError::BadValue)
+        }
+    }
+}
+
+impl ControlMsg {
+    /// Serializes the message to its payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            ControlMsg::Probe {
+                seq,
+                origin,
+                origin_port,
+            } => {
+                w.u8(1);
+                w.u64(*seq);
+                w.uid(*origin);
+                w.u8(*origin_port);
+            }
+            ControlMsg::ProbeReply {
+                seq,
+                origin,
+                origin_port,
+                responder,
+                responder_port,
+            } => {
+                w.u8(2);
+                w.u64(*seq);
+                w.uid(*origin);
+                w.u8(*origin_port);
+                w.uid(*responder);
+                w.u8(*responder_port);
+            }
+            ControlMsg::TreePosition {
+                epoch,
+                seq,
+                from_port,
+                pos,
+            } => {
+                w.u8(3);
+                w.u64(epoch.0);
+                w.u64(*seq);
+                w.u8(*from_port);
+                w.pos(pos);
+            }
+            ControlMsg::TreePositionAck {
+                epoch,
+                seq,
+                is_parent,
+                sender_seq,
+                sender_from_port,
+                sender_pos,
+            } => {
+                w.u8(4);
+                w.u64(epoch.0);
+                w.u64(*seq);
+                w.u8(u8::from(*is_parent));
+                w.u64(*sender_seq);
+                w.u8(*sender_from_port);
+                w.pos(sender_pos);
+            }
+            ControlMsg::TopologyReport { epoch, seq, report } => {
+                w.u8(5);
+                w.u64(epoch.0);
+                w.u64(*seq);
+                w.report(report);
+            }
+            ControlMsg::TopologyReportAck { epoch, seq } => {
+                w.u8(6);
+                w.u64(epoch.0);
+                w.u64(*seq);
+            }
+            ControlMsg::TopologyDown { epoch, global } => {
+                w.u8(7);
+                w.u64(epoch.0);
+                w.uid(global.root);
+                w.report(&SubtreeReport {
+                    switches: global.switches.clone(),
+                });
+                w.u16(global.numbers.len() as u16);
+                for (&uid, &num) in &global.numbers {
+                    w.uid(uid);
+                    w.u16(num);
+                }
+            }
+            ControlMsg::TopologyDownAck { epoch } => {
+                w.u8(8);
+                w.u64(epoch.0);
+            }
+            ControlMsg::ShortAddrRequest { host_uid } => {
+                w.u8(9);
+                w.uid(*host_uid);
+            }
+            ControlMsg::ShortAddrReply { host_uid, addr } => {
+                w.u8(10);
+                w.uid(*host_uid);
+                w.u16(addr.as_u16());
+            }
+            ControlMsg::Srp {
+                route,
+                hop,
+                back_route,
+                payload,
+            } => {
+                w.u8(11);
+                w.u8(route.len() as u8);
+                for &p in route {
+                    w.u8(p);
+                }
+                w.u8(*hop);
+                w.u8(back_route.len() as u8);
+                for &p in back_route {
+                    w.u8(p);
+                }
+                match payload {
+                    SrpPayload::Ping => w.u8(0),
+                    SrpPayload::Pong { uid, epoch } => {
+                        w.u8(1);
+                        w.uid(*uid);
+                        w.u64(epoch.0);
+                    }
+                    SrpPayload::GetState => w.u8(2),
+                    SrpPayload::State {
+                        uid,
+                        epoch,
+                        good_ports,
+                        open,
+                    } => {
+                        w.u8(3);
+                        w.uid(*uid);
+                        w.u64(epoch.0);
+                        w.u8(*good_ports);
+                        w.u8(u8::from(*open));
+                    }
+                }
+            }
+        }
+        w.buf
+    }
+
+    /// Parses a message from its payload bytes.
+    pub fn decode(bytes: &[u8]) -> Result<ControlMsg, MsgCodecError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let msg = match tag {
+            1 => ControlMsg::Probe {
+                seq: r.u64()?,
+                origin: r.uid()?,
+                origin_port: r.u8()?,
+            },
+            2 => ControlMsg::ProbeReply {
+                seq: r.u64()?,
+                origin: r.uid()?,
+                origin_port: r.u8()?,
+                responder: r.uid()?,
+                responder_port: r.u8()?,
+            },
+            3 => ControlMsg::TreePosition {
+                epoch: Epoch(r.u64()?),
+                seq: r.u64()?,
+                from_port: r.u8()?,
+                pos: r.pos()?,
+            },
+            4 => ControlMsg::TreePositionAck {
+                epoch: Epoch(r.u64()?),
+                seq: r.u64()?,
+                is_parent: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(MsgCodecError::BadValue),
+                },
+                sender_seq: r.u64()?,
+                sender_from_port: r.u8()?,
+                sender_pos: r.pos()?,
+            },
+            5 => ControlMsg::TopologyReport {
+                epoch: Epoch(r.u64()?),
+                seq: r.u64()?,
+                report: r.report()?,
+            },
+            6 => ControlMsg::TopologyReportAck {
+                epoch: Epoch(r.u64()?),
+                seq: r.u64()?,
+            },
+            7 => {
+                let epoch = Epoch(r.u64()?);
+                let root = r.uid()?;
+                let switches = r.report()?.switches;
+                let n = r.u16()? as usize;
+                let mut numbers = std::collections::BTreeMap::new();
+                for _ in 0..n {
+                    let uid = r.uid()?;
+                    let num = r.u16()?;
+                    numbers.insert(uid, num);
+                }
+                ControlMsg::TopologyDown {
+                    epoch,
+                    global: GlobalTopology {
+                        epoch,
+                        root,
+                        switches,
+                        numbers,
+                    },
+                }
+            }
+            8 => ControlMsg::TopologyDownAck {
+                epoch: Epoch(r.u64()?),
+            },
+            9 => ControlMsg::ShortAddrRequest { host_uid: r.uid()? },
+            10 => ControlMsg::ShortAddrReply {
+                host_uid: r.uid()?,
+                addr: ShortAddress::from_raw(r.u16()?),
+            },
+            11 => {
+                let n = r.u8()? as usize;
+                let mut route = Vec::with_capacity(n);
+                for _ in 0..n {
+                    route.push(r.u8()?);
+                }
+                let hop = r.u8()?;
+                let n_back = r.u8()? as usize;
+                let mut back_route = Vec::with_capacity(n_back);
+                for _ in 0..n_back {
+                    back_route.push(r.u8()?);
+                }
+                let payload = match r.u8()? {
+                    0 => SrpPayload::Ping,
+                    1 => SrpPayload::Pong {
+                        uid: r.uid()?,
+                        epoch: Epoch(r.u64()?),
+                    },
+                    2 => SrpPayload::GetState,
+                    3 => SrpPayload::State {
+                        uid: r.uid()?,
+                        epoch: Epoch(r.u64()?),
+                        good_ports: r.u8()?,
+                        open: match r.u8()? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(MsgCodecError::BadValue),
+                        },
+                    },
+                    t => return Err(MsgCodecError::BadTag(t)),
+                };
+                ControlMsg::Srp {
+                    route,
+                    hop,
+                    back_route,
+                    payload,
+                }
+            }
+            t => return Err(MsgCodecError::BadTag(t)),
+        };
+        r.done()?;
+        Ok(msg)
+    }
+
+    /// The encoded payload size, used to charge transmission time.
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_info() -> SwitchInfo {
+        SwitchInfo {
+            uid: Uid::new(0xA1),
+            proposed_number: 7,
+            parent: Uid::new(0xB2),
+            parent_port: 3,
+            links: vec![
+                LinkInfo {
+                    local_port: 3,
+                    neighbor: Uid::new(0xB2),
+                    neighbor_port: 9,
+                },
+                LinkInfo {
+                    local_port: 5,
+                    neighbor: Uid::new(0xC3),
+                    neighbor_port: 1,
+                },
+            ],
+            host_ports: vec![6, 7, 8],
+        }
+    }
+
+    fn all_samples() -> Vec<ControlMsg> {
+        let pos = TreePosition {
+            root: Uid::new(1),
+            level: 4,
+            parent: Uid::new(2),
+            parent_port: 11,
+        };
+        let mut numbers = std::collections::BTreeMap::new();
+        numbers.insert(Uid::new(0xA1), 7u16);
+        numbers.insert(Uid::new(0xB2), 2u16);
+        vec![
+            ControlMsg::Probe {
+                seq: 42,
+                origin: Uid::new(0xF00),
+                origin_port: 4,
+            },
+            ControlMsg::ProbeReply {
+                seq: 42,
+                origin: Uid::new(0xF00),
+                origin_port: 4,
+                responder: Uid::new(0xBAA),
+                responder_port: 12,
+            },
+            ControlMsg::TreePosition {
+                epoch: Epoch(9),
+                seq: 3,
+                from_port: 2,
+                pos,
+            },
+            ControlMsg::TreePositionAck {
+                epoch: Epoch(9),
+                seq: 3,
+                is_parent: true,
+                sender_seq: 8,
+                sender_from_port: 5,
+                sender_pos: pos,
+            },
+            ControlMsg::TopologyReport {
+                epoch: Epoch(9),
+                seq: 5,
+                report: SubtreeReport {
+                    switches: vec![sample_info()],
+                },
+            },
+            ControlMsg::TopologyReportAck {
+                epoch: Epoch(9),
+                seq: 5,
+            },
+            ControlMsg::TopologyDown {
+                epoch: Epoch(9),
+                global: GlobalTopology {
+                    epoch: Epoch(9),
+                    root: Uid::new(1),
+                    switches: vec![sample_info()],
+                    numbers,
+                },
+            },
+            ControlMsg::TopologyDownAck { epoch: Epoch(9) },
+            ControlMsg::ShortAddrRequest {
+                host_uid: Uid::new(77),
+            },
+            ControlMsg::ShortAddrReply {
+                host_uid: Uid::new(77),
+                addr: ShortAddress::assigned(3, 4),
+            },
+            ControlMsg::Srp {
+                route: vec![1, 4, 2],
+                hop: 1,
+                back_route: vec![9],
+                payload: SrpPayload::State {
+                    uid: Uid::new(5),
+                    epoch: Epoch(2),
+                    good_ports: 4,
+                    open: true,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for msg in all_samples() {
+            let bytes = msg.encode();
+            let back = ControlMsg::decode(&bytes).unwrap_or_else(|e| panic!("{msg:?}: {e}"));
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        for msg in all_samples() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    ControlMsg::decode(&bytes[..cut]).is_err(),
+                    "{msg:?} decoded from a {cut}-byte prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = ControlMsg::TopologyDownAck { epoch: Epoch(1) }.encode();
+        bytes.push(0);
+        assert_eq!(ControlMsg::decode(&bytes), Err(MsgCodecError::BadValue));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(ControlMsg::decode(&[200]), Err(MsgCodecError::BadTag(200)));
+        assert_eq!(ControlMsg::decode(&[]), Err(MsgCodecError::Truncated));
+    }
+
+    #[test]
+    fn wire_size_matches_encoding() {
+        for msg in all_samples() {
+            assert_eq!(msg.wire_size(), msg.encode().len());
+        }
+    }
+
+    #[test]
+    fn tree_position_is_small() {
+        // Tree-position packets are the hot reconfiguration traffic; make
+        // sure they stay compact (they fit easily in a minimal packet).
+        let msg = ControlMsg::TreePosition {
+            epoch: Epoch(1),
+            seq: 1,
+            from_port: 1,
+            pos: TreePosition::myself(Uid::new(1)),
+        };
+        assert!(msg.wire_size() <= 64, "{} bytes", msg.wire_size());
+    }
+}

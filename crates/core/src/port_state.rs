@@ -1,0 +1,74 @@
+//! The six port states of the monitoring tower.
+
+use std::fmt;
+
+/// Dynamic classification of a switch port (companion paper §6.5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PortState {
+    /// The port does not work well enough to use.
+    Dead,
+    /// Being monitored to determine whether a host or switch is attached.
+    Checking,
+    /// Attached to a host.
+    Host,
+    /// Attached to a switch of unknown identity.
+    SwitchWho,
+    /// Attached to another port on the same switch (or reflecting).
+    SwitchLoop,
+    /// Attached to a responsive neighbor switch — usable for routing.
+    SwitchGood,
+}
+
+impl PortState {
+    /// Returns `true` for the three `s.switch.*` states, which the
+    /// connectivity monitor continuously probes.
+    pub fn is_switch(self) -> bool {
+        matches!(
+            self,
+            PortState::SwitchWho | PortState::SwitchLoop | PortState::SwitchGood
+        )
+    }
+
+    /// Returns `true` if packets may be forwarded through the port.
+    pub fn carries_traffic(self) -> bool {
+        matches!(self, PortState::Host | PortState::SwitchGood)
+    }
+}
+
+impl fmt::Display for PortState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PortState::Dead => "s.dead",
+            PortState::Checking => "s.checking",
+            PortState::Host => "s.host",
+            PortState::SwitchWho => "s.switch.who",
+            PortState::SwitchLoop => "s.switch.loop",
+            PortState::SwitchGood => "s.switch.good",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_predicates() {
+        assert!(PortState::SwitchWho.is_switch());
+        assert!(PortState::SwitchLoop.is_switch());
+        assert!(PortState::SwitchGood.is_switch());
+        assert!(!PortState::Host.is_switch());
+        assert!(!PortState::Dead.is_switch());
+        assert!(PortState::Host.carries_traffic());
+        assert!(PortState::SwitchGood.carries_traffic());
+        assert!(!PortState::SwitchWho.carries_traffic());
+        assert!(!PortState::Checking.carries_traffic());
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(PortState::Dead.to_string(), "s.dead");
+        assert_eq!(PortState::SwitchGood.to_string(), "s.switch.good");
+    }
+}

@@ -1,0 +1,220 @@
+//! Topology descriptions exchanged during reconfiguration.
+//!
+//! As stability moves up the forming spanning tree, each switch's "I am
+//! stable" message grows into a [`SubtreeReport`] describing the stable
+//! subtree below it (companion paper §6.6.1 step 2). The root merges the
+//! reports of all its children with its own adjacency to obtain the
+//! [`GlobalTopology`], assigns switch numbers, and floods the result down
+//! the tree (steps 3–4), from which every switch computes its forwarding
+//! table locally (step 5).
+
+use std::collections::BTreeMap;
+
+use autonet_wire::{PortIndex, SwitchNumber, Uid};
+
+use crate::epoch::Epoch;
+
+/// One switch-to-switch adjacency as seen from one end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkInfo {
+    /// The local port the link is cabled to.
+    pub local_port: PortIndex,
+    /// UID of the switch at the far end.
+    pub neighbor: Uid,
+    /// The far end's port number.
+    pub neighbor_port: PortIndex,
+}
+
+/// Everything one switch contributes to the topology description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SwitchInfo {
+    /// The switch's UID.
+    pub uid: Uid,
+    /// The switch number it held last epoch and proposes to keep (1 for a
+    /// freshly powered-on switch).
+    pub proposed_number: SwitchNumber,
+    /// UID of its tree parent (its own UID if it is the root).
+    pub parent: Uid,
+    /// Its local port to the parent (0 for the root).
+    pub parent_port: PortIndex,
+    /// Its usable switch-to-switch links (state `s.switch.good`).
+    pub links: Vec<LinkInfo>,
+    /// Ports classified `s.host`.
+    pub host_ports: Vec<PortIndex>,
+}
+
+/// The topology and spanning tree of a stable subtree, accumulated on the
+/// way up to the root.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SubtreeReport {
+    /// All switches in the subtree, the reporting switch first.
+    pub switches: Vec<SwitchInfo>,
+}
+
+impl SubtreeReport {
+    /// A leaf report containing just the reporting switch.
+    pub fn leaf(info: SwitchInfo) -> Self {
+        SubtreeReport {
+            switches: vec![info],
+        }
+    }
+
+    /// Merges the reporting switch's own info with its children's reports.
+    pub fn merge(own: SwitchInfo, children: impl IntoIterator<Item = SubtreeReport>) -> Self {
+        let mut switches = vec![own];
+        for child in children {
+            switches.extend(child.switches);
+        }
+        SubtreeReport { switches }
+    }
+
+    /// Number of switches described.
+    pub fn len(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Returns `true` if the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.switches.is_empty()
+    }
+}
+
+/// The complete topology the root floods down the tree: every switch's
+/// adjacency, the spanning tree (via parent pointers), and the assigned
+/// switch numbers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalTopology {
+    /// The epoch this topology belongs to.
+    pub epoch: Epoch,
+    /// UID of the spanning-tree root.
+    pub root: Uid,
+    /// Every switch in the configuration.
+    pub switches: Vec<SwitchInfo>,
+    /// The root's switch-number assignment.
+    pub numbers: BTreeMap<Uid, SwitchNumber>,
+}
+
+impl GlobalTopology {
+    /// Looks up a switch's info by UID.
+    pub fn switch(&self, uid: Uid) -> Option<&SwitchInfo> {
+        self.switches.iter().find(|s| s.uid == uid)
+    }
+
+    /// The assigned number of a switch.
+    pub fn number_of(&self, uid: Uid) -> Option<SwitchNumber> {
+        self.numbers.get(&uid).copied()
+    }
+
+    /// The tree level of every switch (root = 0), computed by following
+    /// parent pointers. Returns `None` if the parent pointers are broken
+    /// (a cycle or a missing parent) — which a well-formed reconfiguration
+    /// never produces, but corrupted reports could.
+    pub fn levels(&self) -> Option<BTreeMap<Uid, u32>> {
+        let mut levels: BTreeMap<Uid, u32> = BTreeMap::new();
+        levels.insert(self.root, 0);
+        // Iterate to fixpoint; n passes suffice for a tree of n switches.
+        for _ in 0..self.switches.len() {
+            let mut changed = false;
+            for s in &self.switches {
+                if levels.contains_key(&s.uid) {
+                    continue;
+                }
+                if let Some(&pl) = levels.get(&s.parent) {
+                    levels.insert(s.uid, pl + 1);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if levels.len() == self.switches.len() {
+            Some(levels)
+        } else {
+            None
+        }
+    }
+
+    /// The tree children of `uid`: switches whose parent pointer names it.
+    pub fn children_of(&self, uid: Uid) -> impl Iterator<Item = &SwitchInfo> {
+        self.switches
+            .iter()
+            .filter(move |s| s.parent == uid && s.uid != uid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(uid: u64, parent: u64) -> SwitchInfo {
+        SwitchInfo {
+            uid: Uid::new(uid),
+            proposed_number: 1,
+            parent: Uid::new(parent),
+            parent_port: if uid == parent { 0 } else { 1 },
+            links: Vec::new(),
+            host_ports: Vec::new(),
+        }
+    }
+
+    fn three_chain() -> GlobalTopology {
+        // 1 <- 2 <- 3.
+        let mut numbers = BTreeMap::new();
+        numbers.insert(Uid::new(1), 1);
+        numbers.insert(Uid::new(2), 2);
+        numbers.insert(Uid::new(3), 3);
+        GlobalTopology {
+            epoch: Epoch(1),
+            root: Uid::new(1),
+            switches: vec![info(1, 1), info(2, 1), info(3, 2)],
+            numbers,
+        }
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let r = SubtreeReport::merge(
+            info(2, 1),
+            [
+                SubtreeReport::leaf(info(3, 2)),
+                SubtreeReport::leaf(info(4, 2)),
+            ],
+        );
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.switches[0].uid, Uid::new(2));
+    }
+
+    #[test]
+    fn levels_follow_parents() {
+        let g = three_chain();
+        let levels = g.levels().expect("well-formed tree");
+        assert_eq!(levels[&Uid::new(1)], 0);
+        assert_eq!(levels[&Uid::new(2)], 1);
+        assert_eq!(levels[&Uid::new(3)], 2);
+    }
+
+    #[test]
+    fn children_lookup() {
+        let g = three_chain();
+        let kids: Vec<Uid> = g.children_of(Uid::new(1)).map(|s| s.uid).collect();
+        assert_eq!(kids, vec![Uid::new(2)]);
+        assert_eq!(g.children_of(Uid::new(3)).count(), 0);
+    }
+
+    #[test]
+    fn broken_parent_pointers_detected() {
+        let mut g = three_chain();
+        // Point 3's parent at a nonexistent switch.
+        g.switches[2].parent = Uid::new(99);
+        assert!(g.levels().is_none());
+    }
+
+    #[test]
+    fn lookup_by_uid() {
+        let g = three_chain();
+        assert_eq!(g.switch(Uid::new(2)).unwrap().parent, Uid::new(1));
+        assert!(g.switch(Uid::new(9)).is_none());
+        assert_eq!(g.number_of(Uid::new(3)), Some(3));
+    }
+}

@@ -1,0 +1,116 @@
+//! Spanning-tree positions and their preference order.
+//!
+//! Each switch maintains its current tree position as four variables: the
+//! root UID, the tree level (0 at the root), the parent UID, and the local
+//! port to the parent (companion paper §6.6.1). A neighbor's advertised
+//! position, extended by one hop, is *better* than the current position if
+//! it leads to a smaller root UID; or the same root via a shorter path; or
+//! the same root and length through a parent with a smaller UID; or the
+//! same parent via a lower port number. This total order is what makes
+//! Perlman-style tree formation converge to a unique tree.
+
+use autonet_wire::{PortIndex, Uid};
+
+/// A switch's position in the (forming) spanning tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreePosition {
+    /// UID of the switch believed to be the root.
+    pub root: Uid,
+    /// Distance from the root in tree hops (0 = the root itself).
+    pub level: u32,
+    /// UID of the parent switch (self for the root).
+    pub parent: Uid,
+    /// Local port leading to the parent (0 for the root).
+    pub parent_port: PortIndex,
+}
+
+impl TreePosition {
+    /// The initial position: every switch boots believing it is the root.
+    pub fn myself(uid: Uid) -> Self {
+        TreePosition {
+            root: uid,
+            level: 0,
+            parent: uid,
+            parent_port: 0,
+        }
+    }
+
+    /// The position this switch would hold as a child of `neighbor`
+    /// (which advertised `neighbor_pos`) via local port `port`.
+    pub fn as_child_of(neighbor_pos: &TreePosition, neighbor: Uid, port: PortIndex) -> Self {
+        TreePosition {
+            root: neighbor_pos.root,
+            level: neighbor_pos.level + 1,
+            parent: neighbor,
+            parent_port: port,
+        }
+    }
+
+    /// The preference key: lower compares as better.
+    fn key(&self) -> (Uid, u32, Uid, PortIndex) {
+        (self.root, self.level, self.parent, self.parent_port)
+    }
+
+    /// Returns `true` if `self` is strictly preferred over `other`.
+    pub fn better_than(&self, other: &TreePosition) -> bool {
+        self.key() < other.key()
+    }
+
+    /// Returns `true` if this switch believes itself to be the root.
+    pub fn is_root(&self, my_uid: Uid) -> bool {
+        self.root == my_uid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos(root: u64, level: u32, parent: u64, port: PortIndex) -> TreePosition {
+        TreePosition {
+            root: Uid::new(root),
+            level,
+            parent: Uid::new(parent),
+            parent_port: port,
+        }
+    }
+
+    #[test]
+    fn initial_position_is_self_root() {
+        let p = TreePosition::myself(Uid::new(7));
+        assert!(p.is_root(Uid::new(7)));
+        assert_eq!(p.level, 0);
+        assert_eq!(p.parent, Uid::new(7));
+    }
+
+    #[test]
+    fn smaller_root_wins() {
+        assert!(pos(1, 9, 9, 9).better_than(&pos(2, 0, 0, 0)));
+    }
+
+    #[test]
+    fn same_root_shorter_path_wins() {
+        assert!(pos(1, 2, 5, 3).better_than(&pos(1, 3, 2, 1)));
+    }
+
+    #[test]
+    fn same_root_same_level_smaller_parent_wins() {
+        assert!(pos(1, 2, 3, 9).better_than(&pos(1, 2, 4, 1)));
+    }
+
+    #[test]
+    fn same_parent_lower_port_wins() {
+        assert!(pos(1, 2, 3, 1).better_than(&pos(1, 2, 3, 2)));
+        assert!(!pos(1, 2, 3, 2).better_than(&pos(1, 2, 3, 2)));
+    }
+
+    #[test]
+    fn as_child_extends_level() {
+        let n = pos(1, 2, 9, 4);
+        let mine = TreePosition::as_child_of(&n, Uid::new(42), 7);
+        assert_eq!(mine.root, Uid::new(1));
+        assert_eq!(mine.level, 3);
+        assert_eq!(mine.parent, Uid::new(42));
+        assert_eq!(mine.parent_port, 7);
+    }
+}

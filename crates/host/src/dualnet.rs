@@ -1,0 +1,280 @@
+//! Dual-network hosts: the LocalNet generic-LAN interface (§3.11, §5.5,
+//! §5.6).
+//!
+//! During the transition period every Firefly was connected to both the
+//! Autonet and the Ethernet: "The choice of which network to use can be
+//! changed while the system is running. Switching from one network to the
+//! other can be done in the middle of an RPC call or an IP connection
+//! without disrupting higher-level software." LocalNet presents both as
+//! generic UID-addressed LANs (GetInfo/SetState/Send/Receive in Figure 4);
+//! because frames are UID-addressed on either network and an
+//! Autonet-to-Ethernet bridge stitches them into one extended LAN, a host
+//! can flip its active network under a conversation.
+//!
+//! [`DualNetHost`] models that stack: an Autonet-side [`LocalNet`] plus an
+//! Ethernet station identity, with Figure 4's `GetInfo`/`SetState`
+//! equivalents.
+
+use autonet_sim::SimTime;
+use autonet_wire::{Packet, Uid};
+
+use crate::frame::EthFrame;
+use crate::localnet::LocalNet;
+
+/// Which generic LAN a frame travels (Figure 4's network handle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GenericNet {
+    /// The Autonet, via the dual-ported controller.
+    Autonet,
+    /// The Ethernet segment.
+    Ethernet,
+}
+
+/// Per-network enable state (Figure 4's `SetState`).
+#[derive(Clone, Copy, Debug)]
+pub struct NetInfo {
+    /// Whether this generic net is currently enabled for transmission.
+    pub enabled: bool,
+    /// Whether the physical network is attached at all.
+    pub attached: bool,
+}
+
+/// What the host hands to the environment to transmit.
+#[derive(Clone, Debug)]
+pub enum DualSend {
+    /// Autonet packets (already short-addressed by LocalNet).
+    Autonet(Vec<Packet>),
+    /// A raw frame for the Ethernet segment.
+    Ethernet(EthFrame),
+    /// Neither network is enabled; the frame was dropped.
+    Dropped,
+}
+
+/// A host attached to both networks, transmitting on whichever is selected.
+pub struct DualNetHost {
+    uid: Uid,
+    localnet: LocalNet,
+    autonet: NetInfo,
+    ethernet: NetInfo,
+    /// Frames received (from either network), with their source net.
+    received: Vec<(GenericNet, EthFrame)>,
+}
+
+impl DualNetHost {
+    /// Creates a host attached to both networks, transmitting on the
+    /// Autonet by default.
+    pub fn new(uid: Uid) -> Self {
+        DualNetHost {
+            uid,
+            localnet: LocalNet::new(uid),
+            autonet: NetInfo {
+                enabled: true,
+                attached: true,
+            },
+            ethernet: NetInfo {
+                enabled: false,
+                attached: true,
+            },
+            received: Vec::new(),
+        }
+    }
+
+    /// The host's UID (the same on both networks — LocalNet requires a UID
+    /// to live on exactly one side of a bridge, but an end host carries one
+    /// identity).
+    pub fn uid(&self) -> Uid {
+        self.uid
+    }
+
+    /// The Autonet-side LocalNet (addresses, cache).
+    pub fn localnet_mut(&mut self) -> &mut LocalNet {
+        &mut self.localnet
+    }
+
+    /// Figure 4's `GetInfo`: which generic nets exist and their state.
+    pub fn get_info(&self) -> [(GenericNet, NetInfo); 2] {
+        [
+            (GenericNet::Autonet, self.autonet),
+            (GenericNet::Ethernet, self.ethernet),
+        ]
+    }
+
+    /// Figure 4's `SetState`: enables exactly one network for transmission
+    /// (the controller design uses one connection at a time).
+    pub fn select_network(&mut self, net: GenericNet) {
+        self.autonet.enabled = net == GenericNet::Autonet;
+        self.ethernet.enabled = net == GenericNet::Ethernet;
+    }
+
+    /// The currently selected network.
+    pub fn active_network(&self) -> GenericNet {
+        if self.autonet.enabled {
+            GenericNet::Autonet
+        } else {
+            GenericNet::Ethernet
+        }
+    }
+
+    /// Figure 4's `Send`: transmits a UID-addressed frame on the active
+    /// network. On the Autonet, LocalNet supplies short addresses; on the
+    /// Ethernet the frame goes out as-is.
+    pub fn send(&mut self, now: SimTime, frame: EthFrame) -> DualSend {
+        if self.autonet.enabled && self.autonet.attached {
+            DualSend::Autonet(self.localnet.transmit(now, &frame))
+        } else if self.ethernet.enabled && self.ethernet.attached {
+            DualSend::Ethernet(frame)
+        } else {
+            DualSend::Dropped
+        }
+    }
+
+    /// Figure 4's `Receive` path for Autonet packets; responses (ARP) must
+    /// be transmitted on the Autonet regardless of the selected network.
+    pub fn receive_autonet(&mut self, now: SimTime, packet: &Packet) -> Vec<Packet> {
+        let (delivered, responses) = self.localnet.receive(now, packet);
+        if let Some(frame) = delivered {
+            self.received.push((GenericNet::Autonet, frame));
+        }
+        responses
+    }
+
+    /// Figure 4's `Receive` path for Ethernet frames.
+    pub fn receive_ethernet(&mut self, frame: EthFrame) {
+        if frame.dst == self.uid || frame.is_broadcast() {
+            self.received.push((GenericNet::Ethernet, frame));
+        }
+    }
+
+    /// Drains frames delivered to the client, tagged with the network they
+    /// arrived on (the result of `Receive` "indicates on which network the
+    /// packet arrived").
+    pub fn drain_received(&mut self) -> Vec<(GenericNet, EthFrame)> {
+        std::mem::take(&mut self.received)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::IP_ETHERTYPE;
+    use autonet_wire::ShortAddress;
+
+    fn frame(dst: u64, src: u64, tag: u8) -> EthFrame {
+        EthFrame::new(Uid::new(dst), Uid::new(src), IP_ETHERTYPE, vec![tag])
+    }
+
+    #[test]
+    fn defaults_to_autonet_and_switches_live() {
+        let mut h = DualNetHost::new(Uid::new(1));
+        h.localnet_mut()
+            .set_own_address(ShortAddress::assigned(1, 1));
+        assert_eq!(h.active_network(), GenericNet::Autonet);
+        let s = h.send(SimTime::from_secs(1), frame(2, 1, 0));
+        assert!(matches!(s, DualSend::Autonet(_)));
+        h.select_network(GenericNet::Ethernet);
+        let s = h.send(SimTime::from_secs(1), frame(2, 1, 1));
+        assert!(matches!(s, DualSend::Ethernet(_)));
+        // GetInfo reflects the flip.
+        let info = h.get_info();
+        assert!(!info[0].1.enabled);
+        assert!(info[1].1.enabled);
+    }
+
+    #[test]
+    fn receives_on_both_networks_with_provenance() {
+        let mut h = DualNetHost::new(Uid::new(1));
+        h.localnet_mut()
+            .set_own_address(ShortAddress::assigned(1, 1));
+        // An Autonet packet addressed to us.
+        let pkt = Packet::new(
+            ShortAddress::assigned(1, 1),
+            ShortAddress::assigned(2, 2),
+            autonet_wire::PacketType::Data,
+            frame(1, 9, 7).encode(),
+        );
+        h.receive_autonet(SimTime::from_secs(1), &pkt);
+        // An Ethernet frame addressed to us, and one that is not.
+        h.receive_ethernet(frame(1, 9, 8));
+        h.receive_ethernet(frame(5, 9, 9));
+        let got = h.drain_received();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, GenericNet::Autonet);
+        assert_eq!(got[0].1.payload[0], 7);
+        assert_eq!(got[1].0, GenericNet::Ethernet);
+        assert_eq!(got[1].1.payload[0], 8);
+        assert!(h.drain_received().is_empty());
+    }
+
+    #[test]
+    fn conversation_survives_mid_stream_network_switch() {
+        // Two dual-net hosts share both an "Autonet" (direct short-address
+        // delivery here) and an Ethernet. A flips networks mid-stream; B
+        // keeps receiving every frame, in order, with provenance changing.
+        let mut a = DualNetHost::new(Uid::new(1));
+        let mut b = DualNetHost::new(Uid::new(2));
+        a.localnet_mut()
+            .set_own_address(ShortAddress::assigned(1, 1));
+        b.localnet_mut()
+            .set_own_address(ShortAddress::assigned(1, 2));
+        let now = SimTime::from_secs(1);
+        // Prime A's cache for B (as the gratuitous ARP would).
+        let (_, _) = (
+            a.receive_autonet(
+                now,
+                &Packet::new(
+                    ShortAddress::BROADCAST_HOSTS,
+                    ShortAddress::assigned(1, 2),
+                    autonet_wire::PacketType::Data,
+                    frame(1, 2, 0).encode(),
+                ),
+            ),
+            (),
+        );
+        a.drain_received();
+        let deliver = |a: &mut DualNetHost, b: &mut DualNetHost, tag: u8| match a
+            .send(now, frame(2, 1, tag))
+        {
+            DualSend::Autonet(packets) => {
+                for p in packets {
+                    b.receive_autonet(now, &p);
+                }
+            }
+            DualSend::Ethernet(f) => b.receive_ethernet(f),
+            DualSend::Dropped => panic!("no network enabled"),
+        };
+        deliver(&mut a, &mut b, 1);
+        deliver(&mut a, &mut b, 2);
+        a.select_network(GenericNet::Ethernet);
+        deliver(&mut a, &mut b, 3);
+        deliver(&mut a, &mut b, 4);
+        a.select_network(GenericNet::Autonet);
+        deliver(&mut a, &mut b, 5);
+        let got = b.drain_received();
+        let tags: Vec<u8> = got.iter().map(|(_, f)| f.payload[0]).collect();
+        assert_eq!(tags, vec![1, 2, 3, 4, 5], "no frame lost across the flips");
+        let nets: Vec<GenericNet> = got.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            nets,
+            vec![
+                GenericNet::Autonet,
+                GenericNet::Autonet,
+                GenericNet::Ethernet,
+                GenericNet::Ethernet,
+                GenericNet::Autonet
+            ]
+        );
+    }
+
+    #[test]
+    fn nothing_enabled_drops() {
+        let mut h = DualNetHost::new(Uid::new(1));
+        h.localnet_mut()
+            .set_own_address(ShortAddress::assigned(1, 1));
+        h.autonet.enabled = false;
+        h.ethernet.enabled = false;
+        assert!(matches!(
+            h.send(SimTime::from_secs(1), frame(2, 1, 0)),
+            DualSend::Dropped
+        ));
+    }
+}

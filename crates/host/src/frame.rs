@@ -1,0 +1,126 @@
+//! Encapsulated Ethernet frames.
+//!
+//! Client Autonet packets are a 32-byte Autonet header followed by an
+//! encapsulated Ethernet packet (§6.8): destination UID, source UID,
+//! Ethernet type, data. This module is the codec between [`EthFrame`] and
+//! the Autonet packet payload.
+
+use bytes::Bytes;
+
+use autonet_wire::Uid;
+
+/// The Ethernet broadcast address (all ones).
+pub const BROADCAST_UID: Uid = Uid::new((1 << 48) - 1);
+
+/// EtherType of the address resolution protocol.
+pub const ARP_ETHERTYPE: u16 = 0x0806;
+
+/// EtherType used by the examples for ordinary data traffic.
+pub const IP_ETHERTYPE: u16 = 0x0800;
+
+/// Header length of an encapsulated Ethernet frame.
+const FRAME_HEADER: usize = 6 + 6 + 2;
+
+/// A UID-addressed datagram as seen by LocalNet clients.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EthFrame {
+    /// Destination UID (possibly [`BROADCAST_UID`]).
+    pub dst: Uid,
+    /// Source UID.
+    pub src: Uid,
+    /// The EtherType.
+    pub ethertype: u16,
+    /// The data field.
+    pub payload: Bytes,
+}
+
+/// Errors decoding an encapsulated frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the 14-byte Ethernet header.
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "encapsulated frame truncated"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl EthFrame {
+    /// Creates a frame.
+    pub fn new(dst: Uid, src: Uid, ethertype: u16, payload: impl Into<Bytes>) -> Self {
+        EthFrame {
+            dst,
+            src,
+            ethertype,
+            payload: payload.into(),
+        }
+    }
+
+    /// Serializes the frame into an Autonet packet payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FRAME_HEADER + self.payload.len());
+        out.extend_from_slice(&self.dst.to_bytes());
+        out.extend_from_slice(&self.src.to_bytes());
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a frame from an Autonet packet payload.
+    pub fn decode(bytes: &[u8]) -> Result<EthFrame, FrameError> {
+        if bytes.len() < FRAME_HEADER {
+            return Err(FrameError::Truncated);
+        }
+        let dst = Uid::from_bytes(bytes[0..6].try_into().expect("6 bytes"));
+        let src = Uid::from_bytes(bytes[6..12].try_into().expect("6 bytes"));
+        let ethertype = u16::from_be_bytes([bytes[12], bytes[13]]);
+        Ok(EthFrame {
+            dst,
+            src,
+            ethertype,
+            payload: Bytes::copy_from_slice(&bytes[FRAME_HEADER..]),
+        })
+    }
+
+    /// Total encapsulated length.
+    pub fn wire_len(&self) -> usize {
+        FRAME_HEADER + self.payload.len()
+    }
+
+    /// Whether this frame is addressed to every host.
+    pub fn is_broadcast(&self) -> bool {
+        self.dst == BROADCAST_UID
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let f = EthFrame::new(Uid::new(1), Uid::new(2), IP_ETHERTYPE, &b"hello"[..]);
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.wire_len());
+        assert_eq!(EthFrame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(EthFrame::decode(&[0; 13]), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn broadcast_detection() {
+        let f = EthFrame::new(BROADCAST_UID, Uid::new(2), IP_ETHERTYPE, Bytes::new());
+        assert!(f.is_broadcast());
+        let g = EthFrame::new(Uid::new(3), Uid::new(2), IP_ETHERTYPE, Bytes::new());
+        assert!(!g.is_broadcast());
+    }
+}

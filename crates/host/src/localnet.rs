@@ -1,0 +1,478 @@
+//! LocalNet: the generic LAN layer and its short-address learning.
+//!
+//! LocalNet presents UID-addressed datagrams to clients and hides Autonet
+//! short addresses behind a learned cache (companion paper §4.3, §6.8.1):
+//!
+//! - **Receiving**: the source short address of every arriving packet is
+//!   entered in the cache entry for the source UID. A packet that arrives
+//!   on the broadcast short address but is UID-addressed to this host
+//!   means the sender has lost our short address, so an ARP response is
+//!   sent immediately.
+//! - **Transmitting**: the destination's cache entry supplies the short
+//!   address (creating a broadcast-short entry when unknown). If the entry
+//!   was not refreshed within the two seconds before use, an ARP request
+//!   goes to the *cached* address; no response within two seconds resets
+//!   the entry to broadcast. Packets too large to broadcast are discarded
+//!   and replaced by an ARP request.
+//! - Hosts broadcast an ARP response when their own short address changes,
+//!   so peers update immediately instead of timing out.
+//!
+//! The paper reports the cache code adds ~15 VAX instructions per packet;
+//! [`LocalNetStats::cache_ops`] counts cache touches so the experiments
+//! can report the equivalent figure.
+
+use std::collections::BTreeMap;
+
+use autonet_sim::{SimDuration, SimTime};
+use autonet_wire::{Packet, PacketType, ShortAddress, Uid};
+use bytes::Bytes;
+
+use crate::frame::{EthFrame, ARP_ETHERTYPE, BROADCAST_UID};
+
+/// ARP operations carried in the encapsulated payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArpOp {
+    /// Who has `target`? Tell the sender.
+    Request,
+    /// The sender's header fields are the answer.
+    Reply,
+}
+
+impl ArpOp {
+    fn encode(self) -> u8 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+
+    fn decode(raw: u8) -> Option<ArpOp> {
+        match raw {
+            1 => Some(ArpOp::Request),
+            2 => Some(ArpOp::Reply),
+            _ => None,
+        }
+    }
+}
+
+/// Counters for the learning experiment.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalNetStats {
+    /// Data packets transmitted with a specific short address.
+    pub unicast_sent: u64,
+    /// Data packets transmitted to the broadcast short address because the
+    /// destination was unknown.
+    pub broadcast_fallback_sent: u64,
+    /// ARP requests transmitted.
+    pub arp_requests_sent: u64,
+    /// ARP replies transmitted (including gratuitous ones).
+    pub arp_replies_sent: u64,
+    /// Frames delivered to the client.
+    pub delivered: u64,
+    /// Arriving unicast-addressed packets dropped because the UID was not
+    /// ours (a genuinely stale short address somewhere).
+    pub misaddressed_dropped: u64,
+    /// Broadcast-addressed packets filtered by the UID check — the normal
+    /// cost of a peer falling back to broadcast, not an error.
+    pub broadcast_filtered: u64,
+    /// Oversized packets dropped for lack of a specific address.
+    pub oversize_dropped: u64,
+    /// Cache reads+writes (the "15 instructions per packet" proxy).
+    pub cache_ops: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    short: ShortAddress,
+    updated: SimTime,
+}
+
+/// The per-host LocalNet instance.
+///
+/// # Examples
+///
+/// ```
+/// use autonet_host::{EthFrame, LocalNet, IP_ETHERTYPE};
+/// use autonet_sim::SimTime;
+/// use autonet_wire::{ShortAddress, Uid};
+///
+/// let mut ln = LocalNet::new(Uid::new(0xA));
+/// ln.set_own_address(ShortAddress::assigned(3, 1));
+/// // An unknown destination goes out on the broadcast short address; the
+/// // destination's UID filter picks it up and the reply teaches us.
+/// let frame = EthFrame::new(Uid::new(0xB), Uid::new(0xA), IP_ETHERTYPE, &b"hi"[..]);
+/// let packets = ln.transmit(SimTime::from_secs(1), &frame);
+/// assert_eq!(packets[0].dst, ShortAddress::BROADCAST_HOSTS);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocalNet {
+    my_uid: Uid,
+    my_short: Option<ShortAddress>,
+    cache: BTreeMap<Uid, CacheEntry>,
+    /// Outstanding ARP requests: destination UID → when sent.
+    pending_arp: BTreeMap<Uid, SimTime>,
+    /// Entry-staleness window and ARP response deadline (paper: 2 s each).
+    stale_window: SimDuration,
+    arp_timeout: SimDuration,
+    /// Largest payload that may ride a broadcast packet (paper: ~1500).
+    max_broadcast_payload: usize,
+    stats: LocalNetStats,
+}
+
+impl LocalNet {
+    /// Creates the layer for a host with the given UID.
+    pub fn new(my_uid: Uid) -> Self {
+        LocalNet {
+            my_uid,
+            my_short: None,
+            cache: BTreeMap::new(),
+            pending_arp: BTreeMap::new(),
+            stale_window: SimDuration::from_secs(2),
+            arp_timeout: SimDuration::from_secs(2),
+            max_broadcast_payload: 1500,
+            stats: LocalNetStats::default(),
+        }
+    }
+
+    /// This host's UID.
+    pub fn my_uid(&self) -> Uid {
+        self.my_uid
+    }
+
+    /// This host's current short address, if learned.
+    pub fn my_short(&self) -> Option<ShortAddress> {
+        self.my_short
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LocalNetStats {
+        self.stats
+    }
+
+    /// The cached short address for a UID.
+    pub fn lookup(&self, uid: Uid) -> Option<ShortAddress> {
+        self.cache.get(&uid).map(|e| e.short)
+    }
+
+    /// Records this host's own short address; a change produces a
+    /// gratuitous broadcast ARP reply so peers update their caches.
+    pub fn set_own_address(&mut self, addr: ShortAddress) -> Vec<Packet> {
+        let changed = self.my_short != Some(addr);
+        self.my_short = Some(addr);
+        if changed {
+            self.stats.arp_replies_sent += 1;
+            vec![self.arp_packet(ShortAddress::BROADCAST_HOSTS, ArpOp::Reply, self.my_uid)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Transmits a client frame; returns the Autonet packets to send.
+    ///
+    /// Returns an empty vector (and counts a drop) when the frame is too
+    /// large to broadcast and the destination is unknown, in which case an
+    /// ARP request is sent in its place.
+    pub fn transmit(&mut self, now: SimTime, frame: &EthFrame) -> Vec<Packet> {
+        let Some(my_short) = self.my_short else {
+            // No address yet; the controller queues frames until it learns
+            // one, so reaching here is a caller bug worth counting.
+            self.stats.oversize_dropped += 1;
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let dst_short = if frame.is_broadcast() {
+            ShortAddress::BROADCAST_HOSTS
+        } else {
+            self.stats.cache_ops += 1;
+            let entry = self.cache.entry(frame.dst).or_insert(CacheEntry {
+                short: ShortAddress::BROADCAST_HOSTS,
+                updated: SimTime::ZERO,
+            });
+            let stale = now.saturating_since(entry.updated) > self.stale_window;
+            let short = entry.short;
+            if short == ShortAddress::BROADCAST_HOSTS
+                && frame.wire_len() > self.max_broadcast_payload
+            {
+                // Too large to broadcast with unknown address: replace the
+                // packet by an ARP request.
+                self.stats.oversize_dropped += 1;
+                self.queue_arp(now, frame.dst, ShortAddress::BROADCAST_HOSTS, &mut out);
+                return out;
+            }
+            if stale && !self.pending_arp.contains_key(&frame.dst) {
+                self.queue_arp(now, frame.dst, short, &mut out);
+            }
+            short
+        };
+        if dst_short == ShortAddress::BROADCAST_HOSTS {
+            self.stats.broadcast_fallback_sent += 1;
+        } else {
+            self.stats.unicast_sent += 1;
+        }
+        out.push(Packet::new(
+            dst_short,
+            my_short,
+            PacketType::Data,
+            frame.encode(),
+        ));
+        out
+    }
+
+    /// Processes an arriving Autonet data packet. Returns the frame to
+    /// deliver to the client (if any) and response packets to send.
+    pub fn receive(&mut self, now: SimTime, packet: &Packet) -> (Option<EthFrame>, Vec<Packet>) {
+        let mut responses = Vec::new();
+        let Ok(frame) = EthFrame::decode(&packet.payload) else {
+            return (None, responses);
+        };
+        // Learn the sender's mapping from every arriving packet.
+        if frame.src != self.my_uid {
+            self.stats.cache_ops += 1;
+            self.cache.insert(
+                frame.src,
+                CacheEntry {
+                    short: packet.src,
+                    updated: now,
+                },
+            );
+            self.pending_arp.remove(&frame.src);
+        }
+        if frame.ethertype == ARP_ETHERTYPE {
+            if let Some((op, target)) = decode_arp(&frame.payload) {
+                if op == ArpOp::Request && target == self.my_uid && self.my_short.is_some() {
+                    self.stats.arp_replies_sent += 1;
+                    responses.push(self.arp_packet(packet.src, ArpOp::Reply, self.my_uid));
+                }
+            }
+            return (None, responses);
+        }
+        if frame.is_broadcast() {
+            self.stats.delivered += 1;
+            return (Some(frame), responses);
+        }
+        if frame.dst != self.my_uid {
+            // Receiver-side UID filtering: copies of broadcast-addressed
+            // packets meant for someone else are normal; a unicast packet
+            // with the wrong UID means someone used a stale short address.
+            if packet.dst.is_broadcast() {
+                self.stats.broadcast_filtered += 1;
+            } else {
+                self.stats.misaddressed_dropped += 1;
+            }
+            return (None, responses);
+        }
+        // A broadcast-short packet UID-addressed to us: the sender lost our
+        // address; answer immediately so it relearns.
+        if packet.dst.is_broadcast() && self.my_short.is_some() {
+            self.stats.arp_replies_sent += 1;
+            responses.push(self.arp_packet(packet.src, ArpOp::Reply, self.my_uid));
+        }
+        self.stats.delivered += 1;
+        (Some(frame), responses)
+    }
+
+    /// Expires outstanding ARP requests; entries whose ARP went unanswered
+    /// for the timeout fall back to the broadcast short address.
+    pub fn on_tick(&mut self, now: SimTime) {
+        let expired: Vec<Uid> = self
+            .pending_arp
+            .iter()
+            .filter(|(_, &sent)| now.saturating_since(sent) >= self.arp_timeout)
+            .map(|(&uid, _)| uid)
+            .collect();
+        for uid in expired {
+            self.pending_arp.remove(&uid);
+            if let Some(e) = self.cache.get_mut(&uid) {
+                e.short = ShortAddress::BROADCAST_HOSTS;
+            }
+        }
+    }
+
+    fn queue_arp(&mut self, now: SimTime, target: Uid, to: ShortAddress, out: &mut Vec<Packet>) {
+        self.pending_arp.insert(target, now);
+        self.stats.arp_requests_sent += 1;
+        out.push(self.arp_packet(to, ArpOp::Request, target));
+    }
+
+    fn arp_packet(&self, to: ShortAddress, op: ArpOp, target: Uid) -> Packet {
+        let mut payload = Vec::with_capacity(7);
+        payload.push(op.encode());
+        payload.extend_from_slice(&target.to_bytes());
+        let frame = EthFrame::new(BROADCAST_UID, self.my_uid, ARP_ETHERTYPE, payload);
+        Packet::new(
+            to,
+            self.my_short.unwrap_or(ShortAddress::BROADCAST_HOSTS),
+            PacketType::Data,
+            frame.encode(),
+        )
+    }
+}
+
+/// Decodes an ARP payload.
+fn decode_arp(payload: &Bytes) -> Option<(ArpOp, Uid)> {
+    if payload.len() < 7 {
+        return None;
+    }
+    let op = ArpOp::decode(payload[0])?;
+    let target = Uid::from_bytes(payload[1..7].try_into().expect("6 bytes"));
+    Some((op, target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::IP_ETHERTYPE;
+
+    fn ln(uid: u64, short: u16) -> LocalNet {
+        let mut l = LocalNet::new(Uid::new(uid));
+        l.set_own_address(ShortAddress::from_raw(short));
+        l
+    }
+
+    fn data(dst: Uid, src: Uid, len: usize) -> EthFrame {
+        EthFrame::new(dst, src, IP_ETHERTYPE, vec![0u8; len])
+    }
+
+    #[test]
+    fn unknown_destination_broadcasts() {
+        let mut a = ln(1, 0x0100);
+        let pkts = a.transmit(SimTime::from_secs(1), &data(Uid::new(2), Uid::new(1), 10));
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].dst, ShortAddress::BROADCAST_HOSTS);
+        assert_eq!(a.stats().broadcast_fallback_sent, 1);
+    }
+
+    #[test]
+    fn learning_from_received_packet() {
+        let mut a = ln(1, 0x0100);
+        let mut b = ln(2, 0x0200);
+        let now = SimTime::from_secs(1);
+        // b sends to a (broadcast fallback); a learns b's address.
+        let pkts = b.transmit(now, &data(Uid::new(1), Uid::new(2), 10));
+        let (delivered, responses) = a.receive(now, &pkts[0]);
+        assert!(delivered.is_some());
+        assert_eq!(a.lookup(Uid::new(2)), Some(ShortAddress::from_raw(0x0200)));
+        // The packet was broadcast-short but UID-addressed to a, so a
+        // answers with an ARP reply to teach b.
+        assert_eq!(responses.len(), 1);
+        let (del_b, _) = b.receive(now, &responses[0]);
+        assert!(del_b.is_none(), "ARP is consumed by LocalNet");
+        assert_eq!(b.lookup(Uid::new(1)), Some(ShortAddress::from_raw(0x0100)));
+        // Subsequent transmissions are unicast.
+        let pkts = b.transmit(now, &data(Uid::new(1), Uid::new(2), 10));
+        assert_eq!(pkts[0].dst, ShortAddress::from_raw(0x0100));
+        assert_eq!(b.stats().unicast_sent, 1);
+    }
+
+    #[test]
+    fn stale_entry_triggers_arp_to_cached_address() {
+        let mut a = ln(1, 0x0100);
+        let t0 = SimTime::from_secs(1);
+        // Learn b at t0.
+        let frame = data(Uid::new(1), Uid::new(2), 4);
+        let pkt = Packet::new(
+            ShortAddress::from_raw(0x0100),
+            ShortAddress::from_raw(0x0200),
+            PacketType::Data,
+            frame.encode(),
+        );
+        a.receive(t0, &pkt);
+        // Transmit 5 seconds later: entry stale, ARP rides along.
+        let t1 = t0 + SimDuration::from_secs(5);
+        let pkts = a.transmit(t1, &data(Uid::new(2), Uid::new(1), 10));
+        assert_eq!(pkts.len(), 2, "data + ARP");
+        assert_eq!(a.stats().arp_requests_sent, 1);
+        // The ARP went to the cached unicast address, not broadcast.
+        assert_eq!(pkts[0].dst, ShortAddress::from_raw(0x0200));
+        // No answer within 2 s: the entry falls back to broadcast.
+        a.on_tick(t1 + SimDuration::from_secs(3));
+        assert_eq!(a.lookup(Uid::new(2)), Some(ShortAddress::BROADCAST_HOSTS));
+    }
+
+    #[test]
+    fn fresh_entry_sends_no_arp() {
+        let mut a = ln(1, 0x0100);
+        let t0 = SimTime::from_secs(1);
+        let frame = data(Uid::new(1), Uid::new(2), 4);
+        let pkt = Packet::new(
+            ShortAddress::from_raw(0x0100),
+            ShortAddress::from_raw(0x0200),
+            PacketType::Data,
+            frame.encode(),
+        );
+        a.receive(t0, &pkt);
+        let pkts = a.transmit(
+            t0 + SimDuration::from_millis(500),
+            &data(Uid::new(2), Uid::new(1), 10),
+        );
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(a.stats().arp_requests_sent, 0);
+    }
+
+    #[test]
+    fn misaddressed_packet_dropped_by_uid_filter() {
+        let mut a = ln(1, 0x0100);
+        let frame = data(Uid::new(99), Uid::new(2), 4);
+        let pkt = Packet::new(
+            ShortAddress::from_raw(0x0100),
+            ShortAddress::from_raw(0x0200),
+            PacketType::Data,
+            frame.encode(),
+        );
+        let (delivered, _) = a.receive(SimTime::from_secs(1), &pkt);
+        assert!(delivered.is_none());
+        assert_eq!(a.stats().misaddressed_dropped, 1);
+    }
+
+    #[test]
+    fn arp_request_answered_only_by_target() {
+        let mut a = ln(1, 0x0100);
+        let mut c = ln(3, 0x0300);
+        let b = ln(2, 0x0200);
+        // b ARPs for 1 via broadcast.
+        let t = SimTime::from_secs(1);
+        let req = b.arp_packet(ShortAddress::BROADCAST_HOSTS, ArpOp::Request, Uid::new(1));
+        let (_, resp_a) = a.receive(t, &req);
+        let (_, resp_c) = c.receive(t, &req);
+        assert_eq!(resp_a.len(), 1);
+        assert!(resp_c.is_empty());
+    }
+
+    #[test]
+    fn address_change_broadcasts_gratuitous_reply() {
+        let mut a = ln(1, 0x0100);
+        let pkts = a.set_own_address(ShortAddress::from_raw(0x0110));
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].dst, ShortAddress::BROADCAST_HOSTS);
+        // Unchanged address: no advertisement.
+        assert!(a.set_own_address(ShortAddress::from_raw(0x0110)).is_empty());
+        // Peers relearn instantly.
+        let mut b = ln(2, 0x0200);
+        b.receive(SimTime::from_secs(1), &pkts[0]);
+        assert_eq!(b.lookup(Uid::new(1)), Some(ShortAddress::from_raw(0x0110)));
+    }
+
+    #[test]
+    fn oversize_unknown_destination_replaced_by_arp() {
+        let mut a = ln(1, 0x0100);
+        let pkts = a.transmit(SimTime::from_secs(1), &data(Uid::new(2), Uid::new(1), 4000));
+        assert_eq!(pkts.len(), 1, "only the ARP goes out");
+        assert_eq!(a.stats().oversize_dropped, 1);
+        assert_eq!(a.stats().arp_requests_sent, 1);
+    }
+
+    #[test]
+    fn broadcast_frames_always_deliver() {
+        let mut a = ln(1, 0x0100);
+        let frame = data(BROADCAST_UID, Uid::new(2), 4);
+        let pkt = Packet::new(
+            ShortAddress::BROADCAST_HOSTS,
+            ShortAddress::from_raw(0x0200),
+            PacketType::Data,
+            frame.encode(),
+        );
+        let (delivered, responses) = a.receive(SimTime::from_secs(1), &pkt);
+        assert!(delivered.is_some());
+        assert!(responses.is_empty(), "no ARP response for true broadcasts");
+    }
+}

@@ -1,0 +1,1330 @@
+//! The packet-level network simulation.
+//!
+//! Control plane at full fidelity (every Autopilot message is a real
+//! packet with bandwidth, propagation and control-processor costs), data
+//! plane at packet granularity (forwarding-table lookups per hop, link
+//! serialization, no per-byte flow control — that lives in the slot-level
+//! model of `autonet-switch::datapath`).
+
+use std::collections::BTreeMap;
+
+use autonet_core::{
+    compute_forwarding_table, global_from_view, Action, Autopilot, ControlMsg, Epoch, PortState,
+    RouteKind,
+};
+use autonet_host::{EthFrame, HostAction, HostController, IP_ETHERTYPE};
+use autonet_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulator, World};
+use autonet_switch::{ForwardingTable, LinkUnitStatus};
+use autonet_topo::{HostId, LinkId, NetView, PortUse, SwitchId, Topology};
+use autonet_wire::{Packet, PacketType, PortIndex, ShortAddress, SwitchNumber, Uid, MAX_PORTS};
+
+use crate::params::NetParams;
+
+/// Which physical path carried a packet (checked again at delivery so
+/// packets in flight on a failing link are lost).
+#[derive(Clone, Copy, Debug)]
+#[doc(hidden)]
+pub enum Via {
+    Link(usize),
+    HostLink(usize, usize),
+    Reflection,
+}
+
+/// Simulation events (public only because the `World` impl exposes the
+/// type; constructed exclusively through `Network` methods).
+#[doc(hidden)]
+pub enum Event {
+    SwitchBoot {
+        s: usize,
+    },
+    SwitchTick {
+        s: usize,
+    },
+    SwitchSample {
+        s: usize,
+    },
+    SwitchRx {
+        s: usize,
+        port: PortIndex,
+        packet: Packet,
+        via: Via,
+    },
+    SwitchCpuDone {
+        s: usize,
+        port: PortIndex,
+        packet: Packet,
+    },
+    HostBoot {
+        h: usize,
+    },
+    HostTick {
+        h: usize,
+    },
+    HostRx {
+        h: usize,
+        cport: usize,
+        packet: Packet,
+        via: Via,
+    },
+    HostSend {
+        h: usize,
+        dst: Uid,
+        len: usize,
+        tag: u64,
+    },
+    SrpRequest {
+        s: usize,
+        route: Vec<PortIndex>,
+        payload: autonet_core::SrpPayload,
+    },
+    LinkDown {
+        l: usize,
+    },
+    LinkUp {
+        l: usize,
+    },
+    SwitchDown {
+        s: usize,
+    },
+    SwitchUp {
+        s: usize,
+    },
+    HostLinkDown {
+        h: usize,
+        which: usize,
+    },
+    HostLinkUp {
+        h: usize,
+        which: usize,
+    },
+    HostPowerOff {
+        h: usize,
+    },
+    HostPowerOn {
+        h: usize,
+    },
+}
+
+/// Observable network happenings, timestamped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: NetEventKind,
+}
+
+/// Kinds of observable events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetEventKind {
+    /// A switch closed for host traffic (reconfiguration step 1).
+    SwitchClosed(SwitchId),
+    /// A switch reopened with the given epoch.
+    SwitchOpened(SwitchId, Epoch),
+    /// A host failed over to the other controller port.
+    HostPortSwitched(HostId, usize),
+    /// A host learned a short address.
+    HostAddressLearned(HostId, ShortAddress),
+    /// A fault-injection event took effect.
+    Fault(String),
+}
+
+/// One delivered data frame.
+#[derive(Clone, Debug)]
+pub struct DeliveryRecord {
+    /// Delivery time.
+    pub time: SimTime,
+    /// The receiving host.
+    pub host: HostId,
+    /// Sender UID.
+    pub src: Uid,
+    /// The workload tag (first 8 payload bytes), 0 if none.
+    pub tag: u64,
+    /// Payload length.
+    pub len: usize,
+}
+
+/// Aggregate counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetworkStats {
+    /// Data frames injected by workloads.
+    pub data_sent: u64,
+    /// Data frames delivered to hosts.
+    pub data_delivered: u64,
+    /// Data packets discarded by forwarding tables (includes packets
+    /// dropped while reconfiguration had tables cleared).
+    pub data_discarded: u64,
+    /// Control packets transmitted.
+    pub control_sent: u64,
+    /// Packets lost on failed links/switches.
+    pub lost_in_flight: u64,
+    /// Control packets dropped because the control processor's receive
+    /// buffers were full (recovered by retransmission).
+    pub cpu_queue_drops: u64,
+}
+
+struct SwitchSim {
+    ap: Autopilot,
+    table: ForwardingTable,
+    cpu_free: SimTime,
+    up: bool,
+}
+
+struct HostSim {
+    ctl: HostController,
+    up: bool,
+}
+
+/// The simulation world (driven through [`Network`]).
+pub struct NetWorld {
+    topo: Topology,
+    params: NetParams,
+    switches: Vec<SwitchSim>,
+    hosts: Vec<HostSim>,
+    link_up: Vec<bool>,
+    /// Per-direction link busy times; index 0 = a→b.
+    link_busy: Vec<[SimTime; 2]>,
+    host_link_up: Vec<[bool; 2]>,
+    /// When a host was powered off with its cables still attached, the
+    /// unterminated links reflect signals (§5.3, §7) until the switch's
+    /// status sampler sees enough BadCode to kill the port.
+    host_powered_off_at: Vec<Option<SimTime>>,
+    /// [host][attachment][direction]; direction 0 = host→switch.
+    host_link_busy: Vec<[[SimTime; 2]; 2]>,
+    events: Vec<NetEvent>,
+    deliveries: Vec<DeliveryRecord>,
+    stats: NetworkStats,
+    /// Time of the most recent open/closed state change, for convergence
+    /// measurement.
+    last_state_change: SimTime,
+    /// Randomness for loss injection (seeded; deterministic).
+    rng: SimRng,
+}
+
+/// A running Autonet built from a topology.
+pub struct Network {
+    sim: Simulator<NetWorld>,
+}
+
+const HOST_LINK_LATENCY_NS: u64 = 7 * 80; // 100 m coax.
+const SWITCH_TRANSIT: SimDuration = SimDuration::from_micros(2);
+
+impl Network {
+    /// Builds a network and schedules every switch and host to boot within
+    /// the configured jitter of t = 0.
+    pub fn new(topo: Topology, params: NetParams, seed: u64) -> Self {
+        let mut rng = SimRng::new(seed);
+        let switches = topo
+            .switch_ids()
+            .map(|s| SwitchSim {
+                ap: Autopilot::new(topo.switch(s).uid, params.autopilot, s.0 as u32),
+                table: ForwardingTable::new(),
+                cpu_free: SimTime::ZERO,
+                up: true,
+            })
+            .collect();
+        let hosts = topo
+            .host_ids()
+            .map(|h| HostSim {
+                ctl: HostController::new(
+                    topo.host(h).uid,
+                    params.host,
+                    topo.host(h).alternate.is_some(),
+                ),
+                up: true,
+            })
+            .collect();
+        let world = NetWorld {
+            link_up: vec![true; topo.num_links()],
+            link_busy: vec![[SimTime::ZERO; 2]; topo.num_links()],
+            host_link_up: vec![[true; 2]; topo.num_hosts()],
+            host_powered_off_at: vec![None; topo.num_hosts()],
+            host_link_busy: vec![[[SimTime::ZERO; 2]; 2]; topo.num_hosts()],
+            switches,
+            hosts,
+            events: Vec::new(),
+            deliveries: Vec::new(),
+            stats: NetworkStats::default(),
+            last_state_change: SimTime::ZERO,
+            rng: rng.fork(1),
+            topo,
+            params,
+        };
+        let mut sim = Simulator::new(world);
+        let jitter = sim.world().params.boot_jitter.as_nanos().max(1);
+        for s in 0..sim.world().switches.len() {
+            let at = SimTime::from_nanos(rng.below(jitter));
+            sim.schedule_at(at, Event::SwitchBoot { s });
+        }
+        for h in 0..sim.world().hosts.len() {
+            let at = SimTime::from_nanos(rng.below(jitter));
+            sim.schedule_at(at, Event::HostBoot { h });
+        }
+        Network { sim }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The static topology.
+    pub fn topology(&self) -> &Topology {
+        &self.sim.world().topo
+    }
+
+    /// A switch's control program, for inspection.
+    pub fn autopilot(&self, s: SwitchId) -> &Autopilot {
+        &self.sim.world().switches[s.0].ap
+    }
+
+    /// A switch's currently loaded forwarding table.
+    pub fn forwarding_table(&self, s: SwitchId) -> &ForwardingTable {
+        &self.sim.world().switches[s.0].table
+    }
+
+    /// A host's controller, for inspection.
+    pub fn host(&self, h: HostId) -> &HostController {
+        &self.sim.world().hosts[h.0].ctl
+    }
+
+    /// The observable event log.
+    pub fn events(&self) -> &[NetEvent] {
+        &self.sim.world().events
+    }
+
+    /// Delivered data frames.
+    pub fn deliveries(&self) -> &[DeliveryRecord] {
+        &self.sim.world().deliveries
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> NetworkStats {
+        self.sim.world().stats
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.sim.run_for(span);
+    }
+
+    /// Runs until the control plane is stable: every up switch open, all on
+    /// one epoch with consistent topology. Returns the time of the last
+    /// open/close state change (the true completion instant), or `None` if
+    /// the deadline passed first.
+    pub fn run_until_stable(&mut self, deadline: SimTime) -> Option<SimTime> {
+        let step = SimDuration::from_millis(20);
+        while self.sim.now() < deadline {
+            self.sim.run_for(step);
+            if self.control_plane_consistent() {
+                return Some(self.sim.world().last_state_change);
+            }
+        }
+        None
+    }
+
+    /// Whether the control plane has converged to the physical truth:
+    /// every up switch is open, and within each *physical* connected
+    /// component (up switches and links) all members share one epoch and
+    /// one topology that covers exactly that component, rooted at its
+    /// smallest UID.
+    pub fn control_plane_consistent(&self) -> bool {
+        let w = self.sim.world();
+        let view = w.physical_view();
+        for component in autonet_topo::connected_components(&view) {
+            let min_uid = component
+                .iter()
+                .map(|&s| w.topo.switch(s).uid)
+                .min()
+                .expect("components are non-empty");
+            let mut first: Option<&autonet_core::GlobalTopology> = None;
+            for &sid in &component {
+                let sw = &w.switches[sid.0];
+                if !sw.ap.is_open() {
+                    return false;
+                }
+                let Some(g) = sw.ap.global() else {
+                    return false;
+                };
+                if g.root != min_uid || g.switches.len() != component.len() {
+                    return false;
+                }
+                match first {
+                    None => first = Some(g),
+                    Some(f) => {
+                        if g.epoch != f.epoch || g.numbers != f.numbers {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        // The agreed topology must list exactly the usable physical links:
+        // a failed link still listed means the fault is not yet absorbed; a
+        // repaired link missing means readmission is still pending. Combined
+        // with the containment check below, matching end-counts give
+        // exact equality.
+        let mut usable_ends = 0usize;
+        for lid in view.usable_links() {
+            let spec = w.topo.link(lid);
+            if view.switch_up(spec.a.switch) && view.switch_up(spec.b.switch) {
+                usable_ends += 2;
+            }
+        }
+        let mut listed_ends = 0usize;
+        for sw in w.switches.iter().filter(|s| s.up) {
+            if let Some(g) = sw.ap.global() {
+                if let Some(info) = g.switch(sw.ap.uid()) {
+                    listed_ends += info.links.len();
+                }
+            }
+        }
+        if usable_ends != listed_ends {
+            return false;
+        }
+        for lid in view.usable_links() {
+            let spec = w.topo.link(lid);
+            let a_uid = w.topo.switch(spec.a.switch).uid;
+            let b_uid = w.topo.switch(spec.b.switch).uid;
+            let listed = |sw: &SwitchSim, my_port: PortIndex, far: Uid, far_port: PortIndex| {
+                sw.ap.global().is_some_and(|g| {
+                    g.switch(sw.ap.uid()).is_some_and(|info| {
+                        info.links.iter().any(|l| {
+                            l.local_port == my_port
+                                && l.neighbor == far
+                                && l.neighbor_port == far_port
+                        })
+                    })
+                })
+            };
+            if !listed(
+                &w.switches[spec.a.switch.0],
+                spec.a.port,
+                b_uid,
+                spec.b.port,
+            ) || !listed(
+                &w.switches[spec.b.switch.0],
+                spec.b.port,
+                a_uid,
+                spec.a.port,
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Verifies the converged control plane against the graph-theoretic
+    /// reference ([`global_from_view`]): same root, same levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first discrepancy.
+    pub fn check_against_reference(&self) -> Result<(), String> {
+        let w = self.sim.world();
+        let view = w.physical_view();
+        let proposals: BTreeMap<Uid, SwitchNumber> = BTreeMap::new();
+        let Some(reference) = global_from_view(&view, Epoch(0), &proposals) else {
+            return Ok(());
+        };
+        let ref_levels = reference.levels().expect("reference is well-formed");
+        for (si, sw) in w.switches.iter().enumerate() {
+            if !sw.up {
+                continue;
+            }
+            let uid = w.topo.switch(SwitchId(si)).uid;
+            if !ref_levels.contains_key(&uid) {
+                continue; // A partition not containing the reference root.
+            }
+            let Some(g) = sw.ap.global() else {
+                return Err(format!("switch {si} has no topology"));
+            };
+            if g.root != reference.root {
+                return Err(format!(
+                    "switch {si}: root {} != reference {}",
+                    g.root, reference.root
+                ));
+            }
+            let levels = g
+                .levels()
+                .ok_or_else(|| format!("switch {si}: broken tree"))?;
+            if levels.get(&uid) != ref_levels.get(&uid) {
+                return Err(format!(
+                    "switch {si}: level {:?} != reference {:?}",
+                    levels.get(&uid),
+                    ref_levels.get(&uid)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Schedules a source-routed (SRP, §6.7) request originating at a
+    /// switch's control processor. Collect answers with
+    /// [`take_srp_replies`](Network::take_srp_replies).
+    pub fn schedule_srp(
+        &mut self,
+        at: SimTime,
+        from: SwitchId,
+        route: Vec<PortIndex>,
+        payload: autonet_core::SrpPayload,
+    ) {
+        self.sim.schedule_at(
+            at,
+            Event::SrpRequest {
+                s: from.0,
+                route,
+                payload,
+            },
+        );
+    }
+
+    /// Drains the SRP answers received by a switch's control processor.
+    pub fn take_srp_replies(&mut self, s: SwitchId) -> Vec<autonet_core::SrpPayload> {
+        self.sim.world_mut().switches[s.0].ap.srp_replies()
+    }
+
+    /// Schedules a host data frame.
+    pub fn schedule_host_send(&mut self, at: SimTime, h: HostId, dst: Uid, len: usize, tag: u64) {
+        self.sim.schedule_at(
+            at,
+            Event::HostSend {
+                h: h.0,
+                dst,
+                len,
+                tag,
+            },
+        );
+    }
+
+    /// Schedules a link failure.
+    pub fn schedule_link_down(&mut self, at: SimTime, l: LinkId) {
+        self.sim.schedule_at(at, Event::LinkDown { l: l.0 });
+    }
+
+    /// Schedules a link repair.
+    pub fn schedule_link_up(&mut self, at: SimTime, l: LinkId) {
+        self.sim.schedule_at(at, Event::LinkUp { l: l.0 });
+    }
+
+    /// Schedules a switch crash.
+    pub fn schedule_switch_down(&mut self, at: SimTime, s: SwitchId) {
+        self.sim.schedule_at(at, Event::SwitchDown { s: s.0 });
+    }
+
+    /// Schedules a switch power-on (reboots a fresh Autopilot).
+    pub fn schedule_switch_up(&mut self, at: SimTime, s: SwitchId) {
+        self.sim.schedule_at(at, Event::SwitchUp { s: s.0 });
+    }
+
+    /// Schedules a host power-off with cables left attached: the
+    /// unterminated links *reflect* (§5.3), which is what made the §7
+    /// broadcast storm possible, until the switch's status sampler counts
+    /// enough code violations to kill the ports.
+    pub fn schedule_host_power_off(&mut self, at: SimTime, h: HostId) {
+        self.sim.schedule_at(at, Event::HostPowerOff { h: h.0 });
+    }
+
+    /// Schedules the host powering back on.
+    pub fn schedule_host_power_on(&mut self, at: SimTime, h: HostId) {
+        self.sim.schedule_at(at, Event::HostPowerOn { h: h.0 });
+    }
+
+    /// Schedules a host-link failure (`which`: 0 primary, 1 alternate).
+    pub fn schedule_host_link_down(&mut self, at: SimTime, h: HostId, which: usize) {
+        self.sim
+            .schedule_at(at, Event::HostLinkDown { h: h.0, which });
+    }
+
+    /// Schedules a host-link repair.
+    pub fn schedule_host_link_up(&mut self, at: SimTime, h: HostId, which: usize) {
+        self.sim
+            .schedule_at(at, Event::HostLinkUp { h: h.0, which });
+    }
+
+    /// Schedules `2 * cycles` alternating down/up events on a link: a
+    /// flapping (intermittent) cable.
+    pub fn schedule_link_flaps(
+        &mut self,
+        from: SimTime,
+        l: LinkId,
+        half_period: SimDuration,
+        cycles: usize,
+    ) {
+        let mut t = from;
+        for _ in 0..cycles {
+            self.schedule_link_down(t, l);
+            t += half_period;
+            self.schedule_link_up(t, l);
+            t += half_period;
+        }
+    }
+
+    /// Merges every switch's circular trace log into one time-ordered
+    /// history — the paper's primary debugging tool (§6.7).
+    pub fn merged_trace(&self) -> Vec<autonet_sim::TraceEntry> {
+        let logs: Vec<&autonet_sim::TraceLog> = self
+            .sim
+            .world()
+            .switches
+            .iter()
+            .map(|s| &s.ap.log)
+            .collect();
+        autonet_sim::TraceLog::merge(logs)
+    }
+
+    /// Total reconfigurations initiated across all switches.
+    pub fn total_reconfigs_triggered(&self) -> u64 {
+        self.sim
+            .world()
+            .switches
+            .iter()
+            .map(|s| s.ap.reconfigs_triggered())
+            .sum()
+    }
+}
+
+impl NetWorld {
+    /// The live physical view: up links and switches.
+    fn physical_view(&self) -> NetView<'_> {
+        let mut view = self.topo.view_all();
+        for (l, up) in self.link_up.iter().enumerate() {
+            if !up {
+                view.fail_link(LinkId(l));
+            }
+        }
+        for (s, sw) in self.switches.iter().enumerate() {
+            if !sw.up {
+                view.fail_switch(SwitchId(s));
+            }
+        }
+        view
+    }
+
+    fn log_event(&mut self, time: SimTime, kind: NetEventKind) {
+        self.events.push(NetEvent { time, kind });
+    }
+
+    /// Wire time of a packet at the configured link rate.
+    fn wire_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos(bytes as u64 * 8 * 1_000_000_000 / self.params.link_bps)
+    }
+
+    /// Transmits `packet` out of switch `s` port `port`.
+    fn transmit_from_switch(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        port: PortIndex,
+        packet: Packet,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        match self.topo.port_use(SwitchId(s), port) {
+            PortUse::Link(lid) => {
+                let spec = self.topo.link(lid).clone();
+                if !self.link_up[lid.0] {
+                    return;
+                }
+                // Identify this end by (switch, port) so loopback cables
+                // work too.
+                let (dir, to, to_port) = if spec.a.switch.0 == s && spec.a.port == port {
+                    (0, spec.b.switch.0, spec.b.port)
+                } else {
+                    (1, spec.a.switch.0, spec.a.port)
+                };
+                let start = self.link_busy[lid.0][dir].max(now);
+                let done = start + self.wire_time(packet.wire_len());
+                self.link_busy[lid.0][dir] = done;
+                let arrive = done + SimDuration::from_nanos(spec.timing.latency_ns());
+                sched.at(
+                    arrive,
+                    Event::SwitchRx {
+                        s: to,
+                        port: to_port,
+                        packet,
+                        via: Via::Link(lid.0),
+                    },
+                );
+            }
+            PortUse::Host(hid, alt) => {
+                let which = usize::from(alt);
+                if !self.host_link_up[hid.0][which] {
+                    return;
+                }
+                let start = self.host_link_busy[hid.0][which][1].max(now);
+                let done = start + self.wire_time(packet.wire_len());
+                self.host_link_busy[hid.0][which][1] = done;
+                if self.host_powered_off_at[hid.0].is_some() {
+                    // The cable ends at an unpowered controller: the signal
+                    // reflects and arrives back at this very port (§5.3).
+                    let back = done + SimDuration::from_nanos(2 * HOST_LINK_LATENCY_NS);
+                    sched.at(
+                        back,
+                        Event::SwitchRx {
+                            s,
+                            port,
+                            packet,
+                            via: Via::HostLink(hid.0, which),
+                        },
+                    );
+                    return;
+                }
+                let arrive = done + SimDuration::from_nanos(HOST_LINK_LATENCY_NS);
+                sched.at(
+                    arrive,
+                    Event::HostRx {
+                        h: hid.0,
+                        cport: which,
+                        packet,
+                        via: Via::HostLink(hid.0, which),
+                    },
+                );
+            }
+            PortUse::Free => {
+                // An uncabled port reflects its own signal (§5.3): the
+                // packet comes straight back.
+                sched.after(
+                    SimDuration::from_micros(2),
+                    Event::SwitchRx {
+                        s,
+                        port,
+                        packet,
+                        via: Via::Reflection,
+                    },
+                );
+            }
+            PortUse::ControlProcessor => {
+                // Port 0 loops to the local control processor.
+                sched.after(
+                    SimDuration::from_micros(1),
+                    Event::SwitchRx {
+                        s,
+                        port: 0,
+                        packet,
+                        via: Via::Reflection,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Transmits `packet` from host `h` controller port `cport`.
+    fn transmit_from_host(
+        &mut self,
+        now: SimTime,
+        h: usize,
+        cport: usize,
+        packet: Packet,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let spec = self.topo.host(HostId(h));
+        let attach = if cport == 0 {
+            Some(spec.primary)
+        } else {
+            spec.alternate
+        };
+        let Some(attach) = attach else { return };
+        if !self.host_link_up[h][cport] {
+            return;
+        }
+        let start = self.host_link_busy[h][cport][0].max(now);
+        let done = start + self.wire_time(packet.wire_len());
+        self.host_link_busy[h][cport][0] = done;
+        let arrive = done + SimDuration::from_nanos(HOST_LINK_LATENCY_NS);
+        sched.at(
+            arrive,
+            Event::SwitchRx {
+                s: attach.switch.0,
+                port: attach.port,
+                packet,
+                via: Via::HostLink(h, cport),
+            },
+        );
+    }
+
+    /// Executes a batch of Autopilot actions for switch `s`.
+    fn apply_switch_actions(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        actions: Vec<Action>,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { port, msg } => {
+                    let ptype = match msg {
+                        ControlMsg::Probe { .. } | ControlMsg::ProbeReply { .. } => {
+                            PacketType::Probe
+                        }
+                        ControlMsg::ShortAddrRequest { .. } | ControlMsg::ShortAddrReply { .. } => {
+                            PacketType::HostSwitch
+                        }
+                        ControlMsg::Srp { .. } => PacketType::Srp,
+                        _ => PacketType::Reconfig,
+                    };
+                    let dst = if port >= 1 {
+                        ShortAddress::one_hop(port)
+                    } else {
+                        ShortAddress::TO_LOCAL_SWITCH
+                    };
+                    let packet =
+                        Packet::new(dst, ShortAddress::TO_LOCAL_SWITCH, ptype, msg.encode());
+                    self.stats.control_sent += 1;
+                    self.transmit_from_switch(now, s, port, packet, sched);
+                }
+                Action::LoadTable(table) => {
+                    self.switches[s].table = table;
+                }
+                Action::NetworkOpen { epoch } => {
+                    self.last_state_change = now;
+                    self.log_event(now, NetEventKind::SwitchOpened(SwitchId(s), epoch));
+                }
+                Action::NetworkClosed => {
+                    self.last_state_change = now;
+                    self.log_event(now, NetEventKind::SwitchClosed(SwitchId(s)));
+                }
+            }
+        }
+    }
+
+    /// Executes a batch of host controller actions.
+    fn apply_host_actions(
+        &mut self,
+        now: SimTime,
+        h: usize,
+        actions: Vec<HostAction>,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        for action in actions {
+            match action {
+                HostAction::Transmit { port, packet } => {
+                    self.transmit_from_host(now, h, port, packet, sched);
+                }
+                HostAction::Deliver(frame) => {
+                    let tag = if frame.payload.len() >= 8 {
+                        u64::from_be_bytes(frame.payload[..8].try_into().expect("8 bytes"))
+                    } else {
+                        0
+                    };
+                    self.stats.data_delivered += 1;
+                    self.deliveries.push(DeliveryRecord {
+                        time: now,
+                        host: HostId(h),
+                        src: frame.src,
+                        tag,
+                        len: frame.payload.len(),
+                    });
+                }
+                HostAction::PortSwitched { active } => {
+                    self.log_event(now, NetEventKind::HostPortSwitched(HostId(h), active));
+                }
+                HostAction::AddressLearned(addr) => {
+                    self.log_event(now, NetEventKind::HostAddressLearned(HostId(h), addr));
+                }
+            }
+        }
+    }
+
+    /// Synthesizes the hardware status bits for one switch port from the
+    /// physical state of whatever is cabled there.
+    fn synthesize_status(&self, now: SimTime, s: usize, port: PortIndex) -> Option<LinkUnitStatus> {
+        let mut status = LinkUnitStatus::new();
+        status.start_seen = true;
+        status.progress_seen = true;
+        match self.topo.port_use(SwitchId(s), port) {
+            PortUse::ControlProcessor => None,
+            PortUse::Free => {
+                // Reflection: the port hears its own (switch-style) flow
+                // control, so it looks like a clean switch link.
+                Some(status)
+            }
+            PortUse::Link(lid) => {
+                let spec = self.topo.link(lid);
+                let other = if spec.a.switch.0 == s && spec.a.port == port {
+                    spec.b
+                } else {
+                    spec.a
+                };
+                if !self.link_up[lid.0] || !self.switches[other.switch.0].up {
+                    // Broken cable or dark far end: code violations.
+                    status.bad_code = true;
+                    status.start_seen = false;
+                    Some(status)
+                } else {
+                    // The far end sends idhy while it condemns the link.
+                    let remote_state = self.switches[other.switch.0].ap.port_state(other.port);
+                    status.idhy_seen = remote_state == PortState::Dead;
+                    Some(status)
+                }
+            }
+            PortUse::Host(hid, alt) => {
+                let which = usize::from(alt);
+                let host = &self.hosts[hid.0];
+                if let Some(off_at) = self.host_powered_off_at[hid.0] {
+                    // A reflecting link: the port hears its own flow
+                    // control (looks switch-like) until the noise of the
+                    // unterminated cable registers as code violations —
+                    // "almost always", per §7; modeled as a detection delay.
+                    if now.saturating_since(off_at) > self.params.reflect_detect_delay {
+                        status.bad_code = true;
+                        status.start_seen = false;
+                    } else {
+                        status.is_host = false;
+                        status.start_seen = true;
+                    }
+                    Some(status)
+                } else if !self.host_link_up[hid.0][which] || !host.up {
+                    status.bad_code = true;
+                    status.start_seen = false;
+                    Some(status)
+                } else if host.ctl.active_port() == which {
+                    status.is_host = true;
+                    Some(status)
+                } else {
+                    // The alternate port carries sync only: the constant
+                    // BadSyntax signature with no flow-control directives.
+                    status.bad_syntax = true;
+                    status.is_host = false;
+                    Some(status)
+                }
+            }
+        }
+    }
+
+    /// Data-plane forwarding of one packet arriving at a switch.
+    fn forward_data(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        in_port: PortIndex,
+        packet: Packet,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let entry = self.switches[s].table.lookup(in_port, packet.dst);
+        if entry.is_discard() {
+            self.stats.data_discarded += 1;
+            return;
+        }
+        if entry.broadcast {
+            for port in entry.ports.iter() {
+                if port == 0 {
+                    continue; // The CP ignores data packets.
+                }
+                self.transmit_from_switch(now + SWITCH_TRANSIT, s, port, packet.clone(), sched);
+            }
+        } else {
+            // Dynamic alternative choice: the hardware takes the first free
+            // port; the packet-level equivalent is the least-busy one.
+            let mut best: Option<(SimTime, PortIndex)> = None;
+            for port in entry.ports.iter() {
+                if port == 0 {
+                    // Deliveries to the CP address reach the control
+                    // processor; data packets there are ignored, matching
+                    // the hardware (the CP just never consumes them).
+                    continue;
+                }
+                let busy = self.port_busy_until(s, port);
+                let better = match best {
+                    None => true,
+                    Some((b, _)) => busy < b,
+                };
+                if better {
+                    best = Some((busy, port));
+                }
+            }
+            match best {
+                Some((_, port)) => {
+                    self.transmit_from_switch(now + SWITCH_TRANSIT, s, port, packet, sched);
+                }
+                None => self.stats.data_discarded += 1,
+            }
+        }
+    }
+
+    fn port_busy_until(&self, s: usize, port: PortIndex) -> SimTime {
+        match self.topo.port_use(SwitchId(s), port) {
+            PortUse::Link(lid) => {
+                let spec = self.topo.link(lid);
+                let dir = usize::from(!(spec.a.switch.0 == s && spec.a.port == port));
+                self.link_busy[lid.0][dir]
+            }
+            PortUse::Host(hid, alt) => self.host_link_busy[hid.0][usize::from(alt)][1],
+            _ => SimTime::MAX,
+        }
+    }
+
+    /// Whether the physical path a packet used is still intact.
+    fn via_intact(&self, via: Via) -> bool {
+        match via {
+            Via::Link(l) => self.link_up[l],
+            Via::HostLink(h, w) => self.host_link_up[h][w],
+            Via::Reflection => true,
+        }
+    }
+}
+
+impl World for NetWorld {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<'_, Event>) {
+        match event {
+            Event::SwitchBoot { s } => {
+                if !self.switches[s].up {
+                    return;
+                }
+                let actions = self.switches[s].ap.boot(now);
+                self.apply_switch_actions(now, s, actions, sched);
+                sched.after(
+                    self.params.autopilot.timer_resolution,
+                    Event::SwitchTick { s },
+                );
+                sched.after(
+                    self.params.autopilot.sampling_interval,
+                    Event::SwitchSample { s },
+                );
+            }
+            Event::SwitchTick { s } => {
+                if !self.switches[s].up {
+                    return;
+                }
+                let actions = self.switches[s].ap.on_tick(now);
+                self.apply_switch_actions(now, s, actions, sched);
+                sched.after(
+                    self.params.autopilot.timer_resolution,
+                    Event::SwitchTick { s },
+                );
+            }
+            Event::SwitchSample { s } => {
+                if !self.switches[s].up {
+                    return;
+                }
+                for port in 1..MAX_PORTS as PortIndex {
+                    if let Some(status) = self.synthesize_status(now, s, port) {
+                        let actions = self.switches[s].ap.on_status_sample(now, port, status);
+                        self.apply_switch_actions(now, s, actions, sched);
+                    }
+                }
+                sched.after(
+                    self.params.autopilot.sampling_interval,
+                    Event::SwitchSample { s },
+                );
+            }
+            Event::SwitchRx {
+                s,
+                port,
+                packet,
+                via,
+            } => {
+                if !self.switches[s].up || !self.via_intact(via) {
+                    self.stats.lost_in_flight += 1;
+                    return;
+                }
+                if packet.ptype != PacketType::Data
+                    && self.params.control_loss_rate > 0.0
+                    && self.rng.chance(self.params.control_loss_rate)
+                {
+                    // A marginal link corrupted the packet; the CRC check
+                    // on the control processor rejects it.
+                    self.stats.lost_in_flight += 1;
+                    return;
+                }
+                match packet.ptype {
+                    PacketType::Data => self.forward_data(now, s, port, packet, sched),
+                    PacketType::HostSwitch
+                        if self.switches[s].ap.port_state(port)
+                            != autonet_core::PortState::Host =>
+                    {
+                        // A host's service packet (addressed 0000) reaches
+                        // the control processor only via the forwarding
+                        // entry installed when the port is classified
+                        // s.host; before that it is discarded like any
+                        // host traffic.
+                        self.stats.data_discarded += 1;
+                    }
+                    _ => {
+                        // Control packet: charge the control processor. The
+                        // real 68000 had a finite receive-buffer pool; model
+                        // it as a bounded backlog — overload drops packets,
+                        // and the protocols recover by retransmission.
+                        let cost = self.params.cpu.cost(packet.payload.len());
+                        let backlog = self.switches[s].cpu_free.saturating_since(now);
+                        if backlog > self.params.cpu_backlog_cap {
+                            self.stats.cpu_queue_drops += 1;
+                            return;
+                        }
+                        let start = self.switches[s].cpu_free.max(now);
+                        self.switches[s].cpu_free = start + cost;
+                        sched.at(start + cost, Event::SwitchCpuDone { s, port, packet });
+                    }
+                }
+            }
+            Event::SwitchCpuDone { s, port, packet } => {
+                if !self.switches[s].up {
+                    return;
+                }
+                if let Ok(msg) = ControlMsg::decode(&packet.payload) {
+                    let actions = self.switches[s].ap.on_packet(now, port, &msg);
+                    self.apply_switch_actions(now, s, actions, sched);
+                }
+            }
+            Event::HostBoot { h } => {
+                if !self.hosts[h].up {
+                    return;
+                }
+                let actions = self.hosts[h].ctl.boot(now);
+                self.apply_host_actions(now, h, actions, sched);
+                sched.after(self.params.host_tick, Event::HostTick { h });
+            }
+            Event::HostTick { h } => {
+                if !self.hosts[h].up {
+                    return;
+                }
+                let actions = self.hosts[h].ctl.on_tick(now);
+                self.apply_host_actions(now, h, actions, sched);
+                sched.after(self.params.host_tick, Event::HostTick { h });
+            }
+            Event::HostRx {
+                h,
+                cport,
+                packet,
+                via,
+            } => {
+                if !self.hosts[h].up || !self.via_intact(via) {
+                    self.stats.lost_in_flight += 1;
+                    return;
+                }
+                let actions = self.hosts[h].ctl.on_packet(now, cport, &packet);
+                self.apply_host_actions(now, h, actions, sched);
+            }
+            Event::HostSend { h, dst, len, tag } => {
+                if !self.hosts[h].up {
+                    return;
+                }
+                let mut payload = Vec::with_capacity(len.max(8));
+                payload.extend_from_slice(&tag.to_be_bytes());
+                payload.resize(len.max(8), 0);
+                let frame = EthFrame::new(dst, self.hosts[h].ctl.uid(), IP_ETHERTYPE, payload);
+                self.stats.data_sent += 1;
+                let actions = self.hosts[h].ctl.send(now, frame);
+                self.apply_host_actions(now, h, actions, sched);
+            }
+            Event::SrpRequest { s, route, payload } => {
+                if !self.switches[s].up {
+                    return;
+                }
+                let actions = self.switches[s].ap.srp_request(route, payload);
+                self.apply_switch_actions(now, s, actions, sched);
+            }
+            Event::LinkDown { l } => {
+                self.link_up[l] = false;
+                self.log_event(now, NetEventKind::Fault(format!("link {l} down")));
+            }
+            Event::LinkUp { l } => {
+                self.link_up[l] = true;
+                self.log_event(now, NetEventKind::Fault(format!("link {l} up")));
+            }
+            Event::SwitchDown { s } => {
+                self.switches[s].up = false;
+                self.log_event(now, NetEventKind::Fault(format!("switch {s} down")));
+            }
+            Event::SwitchUp { s } => {
+                let uid = self.topo.switch(SwitchId(s)).uid;
+                self.switches[s] = SwitchSim {
+                    ap: Autopilot::new(uid, self.params.autopilot, s as u32),
+                    table: ForwardingTable::new(),
+                    cpu_free: now,
+                    up: true,
+                };
+                self.log_event(now, NetEventKind::Fault(format!("switch {s} up")));
+                sched.after(SimDuration::ZERO, Event::SwitchBoot { s });
+            }
+            Event::HostPowerOff { h } => {
+                self.hosts[h].up = false;
+                self.host_powered_off_at[h] = Some(now);
+                self.log_event(now, NetEventKind::Fault(format!("host {h} powered off")));
+            }
+            Event::HostPowerOn { h } => {
+                self.hosts[h].up = true;
+                self.host_powered_off_at[h] = None;
+                let uid = self.topo.host(HostId(h)).uid;
+                let dual = self.topo.host(HostId(h)).alternate.is_some();
+                self.hosts[h].ctl = HostController::new(uid, self.params.host, dual);
+                self.log_event(now, NetEventKind::Fault(format!("host {h} powered on")));
+                sched.after(SimDuration::ZERO, Event::HostBoot { h });
+            }
+            Event::HostLinkDown { h, which } => {
+                self.host_link_up[h][which] = false;
+                self.log_event(
+                    now,
+                    NetEventKind::Fault(format!("host {h} link {which} down")),
+                );
+            }
+            Event::HostLinkUp { h, which } => {
+                self.host_link_up[h][which] = true;
+                self.log_event(
+                    now,
+                    NetEventKind::Fault(format!("host {h} link {which} up")),
+                );
+            }
+        }
+    }
+}
+
+/// Reference to ensure the route computation used here stays in sync with
+/// what Autopilot loads (compile-time use of the shared function).
+#[allow(dead_code)]
+fn _table_type_check(g: &autonet_core::GlobalTopology, uid: Uid) -> Option<ForwardingTable> {
+    compute_forwarding_table(g, uid, &[], RouteKind::UpDown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autonet_topo::gen;
+
+    fn stable_net(topo: Topology, seed: u64) -> Network {
+        let mut net = Network::new(topo, NetParams::tuned(), seed);
+        let done = net.run_until_stable(SimTime::from_secs(30));
+        assert!(done.is_some(), "network failed to converge");
+        net
+    }
+
+    #[test]
+    fn line_converges_and_matches_reference() {
+        let net = stable_net(gen::line(4, 42), 1);
+        net.check_against_reference().expect("reference match");
+    }
+
+    #[test]
+    fn torus_converges() {
+        let net = stable_net(gen::torus(4, 4, 7), 2);
+        net.check_against_reference().expect("reference match");
+        // Every switch has 4 good ports on a 4x4 torus.
+        for s in net.topology().switch_ids() {
+            assert_eq!(net.autopilot(s).good_ports().len(), 4);
+        }
+    }
+
+    #[test]
+    fn hosts_learn_addresses_and_exchange_data() {
+        let mut topo = gen::line(2, 0);
+        gen::add_dual_homed_hosts(&mut topo, 1, 3);
+        let mut net = stable_net(topo, 3);
+        let h0 = HostId(0);
+        let h1 = HostId(1);
+        // Hosts poll the switch for addresses on their own (slower)
+        // cadence; give them a few liveness rounds.
+        net.run_for(SimDuration::from_secs(3));
+        assert!(net.host(h0).short_address().is_some());
+        assert!(net.host(h1).short_address().is_some());
+        let dst = net.topology().host(h1).uid;
+        let t0 = net.now();
+        net.schedule_host_send(t0 + SimDuration::from_millis(10), h0, dst, 256, 99);
+        net.run_for(SimDuration::from_secs(1));
+        let d: Vec<_> = net.deliveries().iter().filter(|d| d.tag == 99).collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].host, h1);
+    }
+
+    #[test]
+    fn link_failure_triggers_reconfiguration_and_reroutes() {
+        let mut topo = gen::ring(4, 5);
+        gen::add_dual_homed_hosts(&mut topo, 1, 9);
+        let mut net = stable_net(topo, 4);
+        let epoch_before = net.autopilot(SwitchId(0)).epoch();
+        // Fail one ring link; the ring still connects everything.
+        let t = net.now() + SimDuration::from_millis(50);
+        net.schedule_link_down(t, LinkId(0));
+        net.run_for(SimDuration::from_millis(100)); // Let the fault land.
+        let done = net.run_until_stable(net.now() + SimDuration::from_secs(30));
+        assert!(done.is_some(), "must reconverge after link failure");
+        assert!(net.autopilot(SwitchId(0)).epoch() > epoch_before);
+        net.check_against_reference()
+            .expect("reference match after failure");
+        // Data still flows between hosts on opposite sides.
+        let h0 = HostId(0);
+        let h2 = HostId(2);
+        let dst = net.topology().host(h2).uid;
+        let sent_at = net.now() + SimDuration::from_millis(10);
+        net.schedule_host_send(sent_at, h0, dst, 128, 7);
+        net.run_for(SimDuration::from_secs(1));
+        assert!(net.deliveries().iter().any(|d| d.tag == 7 && d.host == h2));
+    }
+
+    #[test]
+    fn partition_forms_two_networks() {
+        // A line cut in the middle partitions into two halves, each of
+        // which must configure itself.
+        let topo = gen::line(4, 0);
+        let mut net = stable_net(topo, 5);
+        let cut = LinkId(1); // Between switches 1 and 2.
+        let t = net.now() + SimDuration::from_millis(50);
+        net.schedule_link_down(t, cut);
+        net.run_for(SimDuration::from_millis(100));
+        let done = net.run_until_stable(net.now() + SimDuration::from_secs(30));
+        assert!(done.is_some(), "both partitions must stabilize");
+        let g0 = net.autopilot(SwitchId(0)).global().unwrap();
+        let g3 = net.autopilot(SwitchId(3)).global().unwrap();
+        assert_eq!(g0.switches.len(), 2);
+        assert_eq!(g3.switches.len(), 2);
+        assert_ne!(g0.root, g3.root);
+        // Healing merges them again.
+        let t2 = net.now() + SimDuration::from_millis(50);
+        net.schedule_link_up(t2, cut);
+        net.run_for(SimDuration::from_millis(100));
+        let done = net.run_until_stable(net.now() + SimDuration::from_secs(30));
+        assert!(done.is_some(), "healed network must stabilize");
+        assert_eq!(
+            net.autopilot(SwitchId(0)).global().unwrap().switches.len(),
+            4
+        );
+    }
+
+    #[test]
+    fn switch_crash_and_reboot() {
+        let topo = gen::ring(4, 11);
+        let mut net = stable_net(topo, 6);
+        let victim = SwitchId(2);
+        let t = net.now() + SimDuration::from_millis(50);
+        net.schedule_switch_down(t, victim);
+        net.run_for(SimDuration::from_millis(100));
+        let done = net.run_until_stable(net.now() + SimDuration::from_secs(30));
+        assert!(done.is_some());
+        let g = net.autopilot(SwitchId(0)).global().unwrap();
+        assert_eq!(
+            g.switches.len(),
+            3,
+            "survivors configure without the victim"
+        );
+        // Power it back on.
+        let t2 = net.now() + SimDuration::from_millis(50);
+        net.schedule_switch_up(t2, victim);
+        net.run_for(SimDuration::from_millis(100));
+        let done = net.run_until_stable(net.now() + SimDuration::from_secs(60));
+        assert!(done.is_some());
+        assert_eq!(
+            net.autopilot(SwitchId(0)).global().unwrap().switches.len(),
+            4
+        );
+    }
+
+    #[test]
+    fn broadcast_reaches_all_hosts() {
+        let mut topo = gen::line(3, 0);
+        gen::add_dual_homed_hosts(&mut topo, 1, 13);
+        let mut net = stable_net(topo, 7);
+        let t = net.now() + SimDuration::from_millis(10);
+        net.schedule_host_send(t, HostId(0), autonet_host::BROADCAST_UID, 64, 55);
+        net.run_for(SimDuration::from_secs(1));
+        let receivers: std::collections::BTreeSet<HostId> = net
+            .deliveries()
+            .iter()
+            .filter(|d| d.tag == 55)
+            .map(|d| d.host)
+            .collect();
+        // Flooding reaches every host port exactly once each, including
+        // the sender's own.
+        assert_eq!(receivers.len(), 3, "{receivers:?}");
+    }
+}

@@ -1,0 +1,129 @@
+//! The FDDI-style token-ring baseline.
+//!
+//! The aggregate-bandwidth comparison (paper §1, §3.2) needs the thing
+//! Autonet was built to beat: a shared-medium ring where the aggregate
+//! network bandwidth equals the link bandwidth and latency grows with the
+//! station count. This is an intentionally favorable model of FDDI — no
+//! protocol overhead beyond token rotation — so the comparison flatters
+//! the baseline, not Autonet.
+
+use autonet_sim::{SimDuration, SimTime};
+
+/// Counters for the ring.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RingStats {
+    /// Frames carried.
+    pub frames: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+}
+
+/// A token ring: one token, all stations share the medium.
+///
+/// # Examples
+///
+/// ```
+/// use autonet_net::TokenRing;
+/// use autonet_sim::SimTime;
+///
+/// let mut ring = TokenRing::new_100mbps(16);
+/// let mut now = SimTime::ZERO;
+/// for _ in 0..100 {
+///     now = ring.transmit(now, 1500);
+/// }
+/// // The aggregate can never exceed the link bandwidth.
+/// assert!(ring.goodput_bps() < 100_000_000.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TokenRing {
+    bits_per_sec: u64,
+    stations: usize,
+    /// Per-hop station latency (repeater delay), FDDI-like.
+    per_station_latency: SimDuration,
+    busy_until: SimTime,
+    stats: RingStats,
+}
+
+impl TokenRing {
+    /// A 100 Mbit/s ring with `stations` stations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stations` is zero.
+    pub fn new_100mbps(stations: usize) -> Self {
+        assert!(stations > 0, "a ring needs stations");
+        TokenRing {
+            bits_per_sec: 100_000_000,
+            stations,
+            per_station_latency: SimDuration::from_nanos(600),
+            busy_until: SimTime::ZERO,
+            stats: RingStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RingStats {
+        self.stats
+    }
+
+    /// Average token-rotation cost charged per transmission: half the ring
+    /// of station latencies.
+    fn token_overhead(&self) -> SimDuration {
+        self.per_station_latency * (self.stations as u64 / 2).max(1)
+    }
+
+    /// Transmits a `len`-byte frame at `now` (waiting for the token);
+    /// returns the completion time. Every transmission serializes on the
+    /// shared medium — that is the point of the comparison.
+    pub fn transmit(&mut self, now: SimTime, len: usize) -> SimTime {
+        let start = self.busy_until.max(now) + self.token_overhead();
+        let wire = SimDuration::from_nanos(len as u64 * 8 * 1_000_000_000 / self.bits_per_sec);
+        let done = start + wire;
+        self.busy_until = done;
+        self.stats.frames += 1;
+        self.stats.bytes += len as u64;
+        done
+    }
+
+    /// Aggregate goodput in bits per second over the busy interval.
+    pub fn goodput_bps(&self) -> f64 {
+        if self.busy_until == SimTime::ZERO {
+            return 0.0;
+        }
+        self.stats.bytes as f64 * 8.0 / self.busy_until.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_capped_at_link_bandwidth() {
+        let mut ring = TokenRing::new_100mbps(32);
+        let mut now = SimTime::ZERO;
+        for _ in 0..1000 {
+            now = ring.transmit(now, 1500);
+        }
+        let bps = ring.goodput_bps();
+        assert!(bps < 100_000_000.0);
+        assert!(bps > 50_000_000.0, "{bps}");
+    }
+
+    #[test]
+    fn token_overhead_grows_with_stations() {
+        let mut small = TokenRing::new_100mbps(4);
+        let mut big = TokenRing::new_100mbps(64);
+        let t_small = small.transmit(SimTime::ZERO, 64);
+        let t_big = big.transmit(SimTime::ZERO, 64);
+        assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn transmissions_serialize() {
+        let mut ring = TokenRing::new_100mbps(8);
+        let a = ring.transmit(SimTime::ZERO, 1000);
+        let b = ring.transmit(SimTime::ZERO, 1000);
+        assert!(b > a);
+    }
+}

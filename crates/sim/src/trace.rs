@@ -1,0 +1,183 @@
+//! A timestamped circular trace log.
+//!
+//! Autopilot kept an in-memory circular log of reconfiguration events on
+//! every switch; retrieving and merging those logs (after normalizing clocks)
+//! was the project's primary debugging tool (companion paper §6.7). This is
+//! the same facility for the simulation: every component can append
+//! timestamped entries, and an experiment can merge the logs of all nodes
+//! into one global history.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One timestamped log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the entry was logged.
+    pub time: SimTime,
+    /// Which component logged it (e.g. a switch index).
+    pub source: u32,
+    /// The message text.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] #{}: {}", self.time, self.source, self.message)
+    }
+}
+
+/// A bounded circular log of [`TraceEntry`] values.
+///
+/// When full, the oldest entries are dropped, exactly like the fixed-size
+/// circular log in a real switch's control-processor memory.
+#[derive(Clone, Debug)]
+pub struct TraceLog {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Creates a log that retains at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+            enabled: true,
+        }
+    }
+
+    /// Creates a log that records nothing (for performance runs).
+    pub fn disabled() -> Self {
+        let mut log = TraceLog::new(0);
+        log.enabled = false;
+        log
+    }
+
+    /// Returns whether the log is recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Appends an entry, evicting the oldest if at capacity.
+    pub fn log(&mut self, time: SimTime, source: u32, message: impl Into<String>) {
+        if !self.enabled || self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry {
+            time,
+            source,
+            message: message.into(),
+        });
+    }
+
+    /// Returns the retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Returns the number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns how many entries have been evicted by wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards all retained entries.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Merges several logs into one globally time-ordered history.
+    ///
+    /// Ties are broken by source id and then by each log's internal order,
+    /// mirroring the timestamp-normalized merged log described in §6.7.
+    pub fn merge<'a>(logs: impl IntoIterator<Item = &'a TraceLog>) -> Vec<TraceEntry> {
+        let mut all: Vec<TraceEntry> = logs
+            .into_iter()
+            .flat_map(|l| l.entries.iter().cloned())
+            .collect();
+        all.sort_by_key(|a| (a.time, a.source));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_orders_entries() {
+        let mut log = TraceLog::new(8);
+        log.log(SimTime::from_nanos(1), 0, "boot");
+        log.log(SimTime::from_nanos(2), 0, "probe");
+        assert_eq!(log.len(), 2);
+        let texts: Vec<_> = log.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(texts, vec!["boot", "probe"]);
+    }
+
+    #[test]
+    fn wraps_when_full() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5u64 {
+            log.log(SimTime::from_nanos(i), 0, format!("e{i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let texts: Vec<_> = log.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(texts, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::disabled();
+        log.log(SimTime::ZERO, 0, "x");
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn merge_orders_across_sources() {
+        let mut a = TraceLog::new(8);
+        let mut b = TraceLog::new(8);
+        a.log(SimTime::from_nanos(10), 1, "a1");
+        b.log(SimTime::from_nanos(5), 2, "b1");
+        a.log(SimTime::from_nanos(20), 1, "a2");
+        b.log(SimTime::from_nanos(20), 2, "b2");
+        let merged = TraceLog::merge([&a, &b]);
+        let texts: Vec<_> = merged.iter().map(|e| e.message.as_str()).collect();
+        assert_eq!(texts, vec!["b1", "a1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn display_formats_entry() {
+        let e = TraceEntry {
+            time: SimTime::from_micros(3),
+            source: 7,
+            message: "hello".into(),
+        };
+        assert_eq!(e.to_string(), "[3.000us] #7: hello");
+    }
+}

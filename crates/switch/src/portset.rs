@@ -1,0 +1,197 @@
+//! 13-bit port vectors.
+
+use std::fmt;
+
+use autonet_wire::{PortIndex, MAX_PORTS};
+
+/// A set of switch ports encoded as a 13-bit vector, bit `p` = port `p`
+/// (port 0 is the control-processor port).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PortSet(u16);
+
+impl PortSet {
+    /// Mask covering all valid port bits.
+    pub const ALL_MASK: u16 = (1 << MAX_PORTS as u16) - 1;
+
+    /// The empty set.
+    pub const EMPTY: PortSet = PortSet(0);
+
+    /// Creates a set from a raw bit vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits above port 12 are set.
+    pub fn from_bits(bits: u16) -> Self {
+        assert_eq!(
+            bits & !Self::ALL_MASK,
+            0,
+            "port bits out of range: {bits:#06x}"
+        );
+        PortSet(bits)
+    }
+
+    /// Creates a singleton set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn single(port: PortIndex) -> Self {
+        assert!((port as usize) < MAX_PORTS, "port out of range: {port}");
+        PortSet(1 << port)
+    }
+
+    /// Creates a set from an iterator of ports.
+    pub fn from_ports(ports: impl IntoIterator<Item = PortIndex>) -> Self {
+        let mut s = PortSet::EMPTY;
+        for p in ports {
+            s.insert(p);
+        }
+        s
+    }
+
+    /// The raw bit vector.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Adds a port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn insert(&mut self, port: PortIndex) {
+        assert!((port as usize) < MAX_PORTS, "port out of range: {port}");
+        self.0 |= 1 << port;
+    }
+
+    /// Removes a port.
+    pub fn remove(&mut self, port: PortIndex) {
+        self.0 &= !(1 << port);
+    }
+
+    /// Membership test.
+    pub fn contains(self, port: PortIndex) -> bool {
+        (port as usize) < MAX_PORTS && self.0 & (1 << port) != 0
+    }
+
+    /// Returns `true` if no ports are in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of ports in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// The lowest-numbered port in the set — the hardware's pick among
+    /// alternative free ports (§6.3).
+    pub fn lowest(self) -> Option<PortIndex> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as PortIndex)
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: PortSet) -> PortSet {
+        PortSet(self.0 & other.0)
+    }
+
+    /// Set union.
+    pub fn union(self, other: PortSet) -> PortSet {
+        PortSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self` minus `other`).
+    pub fn minus(self, other: PortSet) -> PortSet {
+        PortSet(self.0 & !other.0)
+    }
+
+    /// Returns `true` if every port of `self` is in `other`.
+    pub fn is_subset_of(self, other: PortSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterates over member ports in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = PortIndex> {
+        (0..MAX_PORTS as PortIndex).filter(move |&p| self.contains(p))
+    }
+}
+
+impl fmt::Debug for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ports{{")?;
+        let mut first = true;
+        for p in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<PortIndex> for PortSet {
+    fn from_iter<T: IntoIterator<Item = PortIndex>>(iter: T) -> Self {
+        PortSet::from_ports(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = PortSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(12);
+        assert!(s.contains(3));
+        assert!(s.contains(12));
+        assert!(!s.contains(4));
+        assert_eq!(s.len(), 2);
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn lowest_picks_smallest() {
+        assert_eq!(PortSet::EMPTY.lowest(), None);
+        assert_eq!(PortSet::from_ports([7, 2, 9]).lowest(), Some(2));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = PortSet::from_ports([1, 2, 3]);
+        let b = PortSet::from_ports([2, 3, 4]);
+        assert_eq!(a.intersect(b), PortSet::from_ports([2, 3]));
+        assert_eq!(a.union(b), PortSet::from_ports([1, 2, 3, 4]));
+        assert_eq!(a.minus(b), PortSet::from_ports([1]));
+        assert!(PortSet::from_ports([2]).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = PortSet::from_ports([12, 0, 5]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 5, 12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "port out of range")]
+    fn port_13_rejected() {
+        PortSet::single(13);
+    }
+
+    #[test]
+    #[should_panic(expected = "port bits out of range")]
+    fn bits_above_13_rejected() {
+        PortSet::from_bits(1 << 13);
+    }
+}

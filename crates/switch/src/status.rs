@@ -1,0 +1,109 @@
+//! Link-unit hardware status bits.
+//!
+//! Each link unit reports status the control processor polls (companion
+//! paper §6.5.2). Three bits reflect the *current* condition of the port;
+//! the rest are *accumulated*: they latch when a condition occurs and clear
+//! when read. The status sampler reads them every sampling interval and
+//! feeds counters from which port states are classified.
+
+/// The pollable status register of one link unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkUnitStatus {
+    // Current conditions.
+    /// Last flow control received indicates a host is attached.
+    pub is_host: bool,
+    /// Last flow control received allows transmission.
+    pub xmit_ok: bool,
+    /// The transmitter is in the middle of a packet.
+    pub in_packet: bool,
+
+    // Accumulated conditions (latched until read).
+    /// The receiver reported a code violation.
+    pub bad_code: bool,
+    /// Out-of-place flow control, unused command value, or bad framing.
+    pub bad_syntax: bool,
+    /// The receive FIFO overflowed.
+    pub overflow: bool,
+    /// The FIFO underflowed inside a packet.
+    pub underflow: bool,
+    /// An `idhy` directive was received.
+    pub idhy_seen: bool,
+    /// A `panic` directive was received.
+    pub panic_seen: bool,
+    /// The FIFO forwarded some bytes, or has seen no packets.
+    pub progress_seen: bool,
+    /// A `start` or `host` directive was received.
+    pub start_seen: bool,
+}
+
+impl LinkUnitStatus {
+    /// Creates a fresh register; a port that has seen no packets reports
+    /// progress (per the paper's definition of `ProgressSeen`).
+    pub fn new() -> Self {
+        LinkUnitStatus {
+            progress_seen: true,
+            ..Default::default()
+        }
+    }
+
+    /// Reads the register, clearing the accumulated bits. The current-state
+    /// bits (`is_host`, `xmit_ok`, `in_packet`) are preserved, and
+    /// `progress_seen` re-latches to `true` only when the sampler observes
+    /// progress again.
+    pub fn read_and_clear(&mut self) -> LinkUnitStatus {
+        let snapshot = *self;
+        self.bad_code = false;
+        self.bad_syntax = false;
+        self.overflow = false;
+        self.underflow = false;
+        self.idhy_seen = false;
+        self.panic_seen = false;
+        self.progress_seen = false;
+        self.start_seen = false;
+        snapshot
+    }
+
+    /// Returns `true` if any accumulated error condition is latched.
+    pub fn any_error(&self) -> bool {
+        self.bad_code || self.bad_syntax || self.overflow || self.underflow || self.panic_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_port_reports_progress() {
+        let s = LinkUnitStatus::new();
+        assert!(s.progress_seen);
+        assert!(!s.any_error());
+    }
+
+    #[test]
+    fn read_and_clear_latches() {
+        let mut s = LinkUnitStatus::new();
+        s.bad_code = true;
+        s.start_seen = true;
+        s.is_host = true;
+        let snap = s.read_and_clear();
+        assert!(snap.bad_code);
+        assert!(snap.start_seen);
+        assert!(snap.is_host);
+        // Accumulated bits cleared, current bits kept.
+        assert!(!s.bad_code);
+        assert!(!s.start_seen);
+        assert!(!s.progress_seen);
+        assert!(s.is_host);
+    }
+
+    #[test]
+    fn any_error_covers_error_bits_only() {
+        let mut s = LinkUnitStatus::new();
+        assert!(!s.any_error());
+        s.idhy_seen = true;
+        assert!(!s.any_error(), "idhy alone is not an error condition");
+        s.bad_syntax = true;
+        assert!(s.any_error());
+    }
+}

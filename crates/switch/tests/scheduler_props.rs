@@ -1,0 +1,120 @@
+//! Property tests on the scheduling engines' invariants.
+
+use proptest::prelude::*;
+
+use autonet_switch::{FcfcScheduler, FcfsScheduler, PortSet, Request, Scheduler};
+
+/// Strategy: a request with a non-empty vector over ports 1..13.
+fn req_strategy() -> impl Strategy<Value = Request> {
+    (1u8..13, 1u16..0x1FFE, any::<bool>()).prop_map(|(in_port, bits, broadcast)| Request {
+        in_port,
+        ports: PortSet::from_bits(bits & 0x1FFE).union(PortSet::single(1 + (bits % 12) as u8)),
+        broadcast,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A grant never names a port that was not offered as free (minus
+    /// prior broadcast reservations), and always serves a queued request.
+    #[test]
+    fn grants_only_offered_ports(
+        reqs in prop::collection::vec(req_strategy(), 1..13),
+        frees in prop::collection::vec(0u16..0x1FFF, 1..40),
+    ) {
+        let mut s = FcfcScheduler::new();
+        let mut queued = std::collections::BTreeSet::new();
+        for r in &reqs {
+            if queued.insert(r.in_port) {
+                prop_assert!(s.enqueue(*r));
+            } else {
+                prop_assert!(!s.enqueue(*r), "one head-of-line request per port");
+            }
+        }
+        for &f in &frees {
+            let free = PortSet::from_bits(f & 0x1FFF);
+            let reserved_before = s.reserved_ports();
+            if let Some(g) = s.round(free) {
+                prop_assert!(queued.remove(&g.in_port), "grant for a queued request");
+                // Every granted port was free at some round (alternative
+                // grants must come from this round's offer minus
+                // reservations; broadcast grants may include earlier
+                // captures which were reserved).
+                let this_round = free.minus(reserved_before);
+                let req = reqs.iter().find(|r| r.in_port == g.in_port).unwrap();
+                if req.broadcast {
+                    prop_assert_eq!(g.out_ports.bits(), req.ports.bits());
+                } else {
+                    prop_assert_eq!(g.out_ports.len(), 1);
+                    prop_assert!(g.out_ports.is_subset_of(this_round));
+                    prop_assert!(g.out_ports.is_subset_of(req.ports));
+                }
+            }
+        }
+    }
+
+    /// With every port offered free each round, both disciplines drain any
+    /// queue completely (no starvation under abundance), at one grant per
+    /// round.
+    #[test]
+    fn full_offer_drains_everything(reqs in prop::collection::vec(req_strategy(), 1..13)) {
+        for fcfs in [false, true] {
+            let mut s: Box<dyn Scheduler> = if fcfs {
+                Box::new(FcfsScheduler::new())
+            } else {
+                Box::new(FcfcScheduler::new())
+            };
+            let mut expected = 0;
+            let mut seen = std::collections::BTreeSet::new();
+            for r in &reqs {
+                if seen.insert(r.in_port) && s.enqueue(*r) {
+                    expected += 1;
+                }
+            }
+            let all = PortSet::from_bits(PortSet::ALL_MASK);
+            let mut grants = 0;
+            for _ in 0..(expected * 2 + 4) {
+                if s.round(all).is_some() {
+                    grants += 1;
+                }
+            }
+            prop_assert_eq!(grants, expected);
+            prop_assert_eq!(s.pending(), 0);
+            prop_assert!(s.reserved_ports().is_empty());
+        }
+    }
+
+    /// A broadcast request is eventually granted even when only one of its
+    /// ports is free per round and competitors keep arriving — the
+    /// starvation-freedom property of §6.4.
+    #[test]
+    fn broadcast_never_starves(ports in prop::collection::btree_set(1u8..13, 2..6)) {
+        let mut s = FcfcScheduler::new();
+        let want: Vec<u8> = ports.iter().copied().collect();
+        s.enqueue(Request {
+            in_port: 0,
+            ports: PortSet::from_ports(want.iter().copied()),
+            broadcast: true,
+        });
+        let mut granted = false;
+        for round in 0..want.len() * 3 {
+            // A fresh competitor wanting the same ports every round.
+            let competitor = 1 + (round % 12) as u8;
+            let _ = s.enqueue(Request {
+                in_port: competitor,
+                ports: PortSet::from_ports(want.iter().copied()),
+                broadcast: false,
+            });
+            let free = PortSet::single(want[round % want.len()]);
+            if let Some(g) = s.round(free) {
+                if g.in_port == 0 {
+                    granted = true;
+                    break;
+                }
+            }
+            s.cancel(competitor);
+        }
+        prop_assert!(granted, "broadcast starved");
+    }
+}

@@ -1,0 +1,166 @@
+//! Graph analysis over a live network view.
+
+use std::collections::VecDeque;
+
+use crate::graph::{NetView, SwitchId};
+
+/// BFS hop distances from `from` to every switch, over usable links only.
+/// Unreachable (or down) switches get `None`.
+pub fn bfs_distances(view: &NetView<'_>, from: SwitchId) -> Vec<Option<u32>> {
+    let n = view.topology().num_switches();
+    let mut dist = vec![None; n];
+    if !view.switch_up(from) {
+        return dist;
+    }
+    dist[from.0] = Some(0);
+    let mut queue = VecDeque::from([from]);
+    while let Some(s) = queue.pop_front() {
+        let d = dist[s.0].expect("queued switches have distances");
+        for (_, _, remote) in view.neighbors(s) {
+            if dist[remote.switch.0].is_none() {
+                dist[remote.switch.0] = Some(d + 1);
+                queue.push_back(remote.switch);
+            }
+        }
+    }
+    dist
+}
+
+/// The maximum switch-to-switch distance among reachable pairs of up
+/// switches, or `None` if there are no up switches.
+///
+/// For a disconnected network this is the largest eccentricity *within*
+/// components (distances across partitions are undefined, not infinite).
+pub fn diameter(view: &NetView<'_>) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for s in view.up_switches() {
+        for d in bfs_distances(view, s).into_iter().flatten() {
+            best = Some(best.map_or(d, |b| b.max(d)));
+        }
+    }
+    best
+}
+
+/// Groups the up switches into connected components (each sorted, components
+/// ordered by their smallest member).
+pub fn connected_components(view: &NetView<'_>) -> Vec<Vec<SwitchId>> {
+    let n = view.topology().num_switches();
+    let mut assigned = vec![false; n];
+    let mut components = Vec::new();
+    for start in view.up_switches() {
+        if assigned[start.0] {
+            continue;
+        }
+        let mut members = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        assigned[start.0] = true;
+        while let Some(s) = queue.pop_front() {
+            members.push(s);
+            for (_, _, remote) in view.neighbors(s) {
+                if !assigned[remote.switch.0] {
+                    assigned[remote.switch.0] = true;
+                    queue.push_back(remote.switch);
+                }
+            }
+        }
+        members.sort();
+        components.push(members);
+    }
+    components.sort_by_key(|c| c[0]);
+    components
+}
+
+/// Returns `true` if all up switches form a single connected component.
+pub fn is_connected(view: &NetView<'_>) -> bool {
+    connected_components(view).len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Topology;
+    use autonet_wire::{LinkTiming, Uid};
+
+    /// Builds a line topology a-b-c-d and returns it with the link ids.
+    fn line4() -> (Topology, Vec<crate::graph::LinkId>) {
+        let mut t = Topology::new();
+        let ids: Vec<SwitchId> = (0..4)
+            .map(|i| t.add_switch(Uid::new(i + 1)).unwrap())
+            .collect();
+        let links = (0..3)
+            .map(|i| {
+                t.connect(ids[i], ids[i + 1], LinkTiming::coax_100m())
+                    .unwrap()
+            })
+            .collect();
+        (t, links)
+    }
+
+    #[test]
+    fn distances_on_a_line() {
+        let (t, _) = line4();
+        let v = t.view_all();
+        let d = bfs_distances(&v, SwitchId(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn diameter_of_line_is_length() {
+        let (t, _) = line4();
+        assert_eq!(diameter(&t.view_all()), Some(3));
+    }
+
+    #[test]
+    fn failed_link_partitions() {
+        let (t, links) = line4();
+        let mut v = t.view_all();
+        v.fail_link(links[1]);
+        assert!(!is_connected(&v));
+        let comps = connected_components(&v);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![SwitchId(0), SwitchId(1)]);
+        assert_eq!(comps[1], vec![SwitchId(2), SwitchId(3)]);
+        let d = bfs_distances(&v, SwitchId(0));
+        assert_eq!(d[3], None);
+    }
+
+    #[test]
+    fn failed_switch_excluded_from_everything() {
+        let (t, _) = line4();
+        let mut v = t.view_all();
+        v.fail_switch(SwitchId(1));
+        assert_eq!(bfs_distances(&v, SwitchId(1)), vec![None; 4]);
+        let comps = connected_components(&v);
+        assert_eq!(comps.len(), 2);
+        // Diameter is within components: the {2,3} pair has distance 1.
+        assert_eq!(diameter(&v), Some(1));
+    }
+
+    #[test]
+    fn single_switch_diameter_zero() {
+        let mut t = Topology::new();
+        t.add_switch(Uid::new(1)).unwrap();
+        assert_eq!(diameter(&t.view_all()), Some(0));
+        assert!(is_connected(&t.view_all()));
+    }
+
+    #[test]
+    fn empty_topology() {
+        let t = Topology::new();
+        assert_eq!(diameter(&t.view_all()), None);
+        assert!(is_connected(&t.view_all()));
+        assert!(connected_components(&t.view_all()).is_empty());
+    }
+
+    #[test]
+    fn parallel_trunk_links_do_not_confuse_bfs() {
+        let mut t = Topology::new();
+        let a = t.add_switch(Uid::new(1)).unwrap();
+        let b = t.add_switch(Uid::new(2)).unwrap();
+        t.connect(a, b, LinkTiming::coax_100m()).unwrap();
+        t.connect(a, b, LinkTiming::coax_100m()).unwrap();
+        let v = t.view_all();
+        assert_eq!(bfs_distances(&v, a), vec![Some(0), Some(1)]);
+        assert_eq!(v.neighbors(a).count(), 2);
+    }
+}

@@ -1,0 +1,438 @@
+//! Topology generators for the experiment families.
+//!
+//! Every generator takes a `seed` that scrambles the UID assignment, so the
+//! spanning-tree root (the smallest UID) lands at a pseudorandom switch —
+//! exactly the situation a real installation faces, where ROM UIDs have no
+//! relation to physical position. Seed `0` is special-cased to sequential
+//! UIDs (switch `i` gets UID `i + 1`), which is convenient for tests that
+//! need to know the root in advance.
+
+use autonet_sim::SimRng;
+use autonet_wire::{LinkTiming, Uid};
+
+use crate::graph::{SwitchId, Topology};
+
+/// Generates `n` distinct UIDs according to the seed convention above.
+fn make_uids(n: usize, seed: u64) -> Vec<Uid> {
+    if seed == 0 {
+        return (0..n).map(|i| Uid::new(i as u64 + 1)).collect();
+    }
+    let mut rng = SimRng::new(seed);
+    let mut used = std::collections::BTreeSet::new();
+    let mut uids = Vec::with_capacity(n);
+    while uids.len() < n {
+        let raw = rng.range(1, Uid::MASK);
+        if used.insert(raw) {
+            uids.push(Uid::new(raw));
+        }
+    }
+    uids
+}
+
+/// Builds a topology from a switch count and an edge list.
+fn from_edges(n: usize, edges: &[(usize, usize)], seed: u64, timing: LinkTiming) -> Topology {
+    let mut t = Topology::new();
+    let uids = make_uids(n, seed);
+    let ids: Vec<SwitchId> = uids
+        .into_iter()
+        .map(|u| t.add_switch(u).expect("generated UIDs are distinct"))
+        .collect();
+    for &(a, b) in edges {
+        t.connect(ids[a], ids[b], timing)
+            .expect("generators stay within port limits");
+    }
+    t
+}
+
+/// A line of `n` switches: `0 - 1 - ... - n-1`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn line(n: usize, seed: u64) -> Topology {
+    assert!(n > 0, "need at least one switch");
+    let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    from_edges(n, &edges, seed, LinkTiming::coax_100m())
+}
+
+/// A ring of `n` switches.
+///
+/// # Panics
+///
+/// Panics if `n < 3` (a 2-ring would be a parallel trunk, not a ring).
+pub fn ring(n: usize, seed: u64) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 switches");
+    let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    from_edges(n, &edges, seed, LinkTiming::coax_100m())
+}
+
+/// A star: switch 0 in the center, `leaves` switches around it.
+///
+/// # Panics
+///
+/// Panics if `leaves` is zero or exceeds the 12 external ports of the hub.
+pub fn star(leaves: usize, seed: u64) -> Topology {
+    assert!((1..=12).contains(&leaves), "hub has 12 external ports");
+    let edges: Vec<_> = (1..=leaves).map(|i| (0, i)).collect();
+    from_edges(leaves + 1, &edges, seed, LinkTiming::coax_100m())
+}
+
+/// A complete `arity`-ary tree of the given `depth` (depth 0 = just the
+/// root). Switch 0 is the tree root; children are numbered breadth-first.
+///
+/// # Panics
+///
+/// Panics if `arity` is zero or would exceed switch port limits
+/// (root needs `arity` ports, internal nodes `arity + 1`).
+pub fn tree(arity: usize, depth: usize, seed: u64) -> Topology {
+    assert!(
+        (1..=11).contains(&arity),
+        "arity must fit in 12 ports with a parent link"
+    );
+    let mut edges = Vec::new();
+    let mut level_start = 0usize;
+    let mut level_len = 1usize;
+    let mut next = 1usize;
+    for _ in 0..depth {
+        for parent in level_start..level_start + level_len {
+            for _ in 0..arity {
+                edges.push((parent, next));
+                next += 1;
+            }
+        }
+        level_start += level_len;
+        level_len *= arity;
+    }
+    from_edges(next, &edges, seed, LinkTiming::coax_100m())
+}
+
+/// A `w × h` torus; switch `(x, y)` has index `y * w + x`. Dimensions of
+/// size 1 omit the wraparound (degenerating to a grid in that dimension);
+/// dimensions of size 2 produce parallel trunk links, which Autonet treats
+/// as a trunk group.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn torus(w: usize, h: usize, seed: u64) -> Topology {
+    assert!(w > 0 && h > 0, "degenerate torus");
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if w > 1 {
+                if x + 1 < w {
+                    edges.push((idx(x, y), idx(x + 1, y)));
+                } else if w > 2 {
+                    edges.push((idx(x, y), idx(0, y)));
+                } else {
+                    // w == 2: the wrap would duplicate (0,y)-(1,y); emit it
+                    // once as a trunk pair only from x == 1.
+                    edges.push((idx(1, y), idx(0, y)));
+                }
+            }
+            if h > 1 {
+                if y + 1 < h {
+                    edges.push((idx(x, y), idx(x, y + 1)));
+                } else if h > 2 {
+                    edges.push((idx(x, y), idx(x, 0)));
+                } else {
+                    edges.push((idx(x, 1), idx(x, 0)));
+                }
+            }
+        }
+    }
+    from_edges(w * h, &edges, seed, LinkTiming::coax_100m())
+}
+
+/// A `w × h` mesh (torus without wraparound links).
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(w: usize, h: usize, seed: u64) -> Topology {
+    assert!(w > 0 && h > 0, "degenerate grid");
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((idx(x, y), idx(x + 1, y)));
+            }
+            if y + 1 < h {
+                edges.push((idx(x, y), idx(x, y + 1)));
+            }
+        }
+    }
+    from_edges(w * h, &edges, seed, LinkTiming::coax_100m())
+}
+
+/// A `dim`-dimensional hypercube (`2^dim` switches).
+///
+/// # Panics
+///
+/// Panics if `dim` exceeds 12 ports or is zero.
+pub fn hypercube(dim: usize, seed: u64) -> Topology {
+    assert!(
+        (1..=12).contains(&dim),
+        "hypercube degree must fit in 12 ports"
+    );
+    let n = 1usize << dim;
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for bit in 0..dim {
+            let u = v ^ (1 << bit);
+            if v < u {
+                edges.push((v, u));
+            }
+        }
+    }
+    from_edges(n, &edges, seed, LinkTiming::coax_100m())
+}
+
+/// A random connected topology: a uniform random spanning tree plus
+/// `extra_links` random non-loop links, respecting the 12-port limit.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn random_connected(n: usize, extra_links: usize, seed: u64) -> Topology {
+    assert!(n > 0, "need at least one switch");
+    let mut rng = SimRng::new(seed ^ 0xC0FF_EE00);
+    // Random spanning tree by random attachment order.
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut degree = vec![0usize; n];
+    for i in 1..n {
+        // Attach to a random earlier switch with a free port (keep one port
+        // in reserve for later extra links).
+        let candidates: Vec<usize> = order[..i]
+            .iter()
+            .copied()
+            .filter(|&p| degree[p] < 11)
+            .collect();
+        let parent = if candidates.is_empty() {
+            order[rng.index(i)]
+        } else {
+            *rng.choose(&candidates)
+        };
+        edges.push((parent, order[i]));
+        degree[parent] += 1;
+        degree[order[i]] += 1;
+    }
+    let mut attempts = 0;
+    let mut added = 0;
+    while added < extra_links && attempts < extra_links * 20 {
+        attempts += 1;
+        let a = rng.index(n);
+        let b = rng.index(n);
+        if a == b || degree[a] >= 12 || degree[b] >= 12 {
+            continue;
+        }
+        edges.push((a.min(b), a.max(b)));
+        degree[a] += 1;
+        degree[b] += 1;
+        added += 1;
+    }
+    from_edges(n, &edges, seed, LinkTiming::coax_100m())
+}
+
+/// The SRC service network: an approximate 4 × 8 torus of 30 switches
+/// (a 4 × 8 torus with two opposite switches removed), as described in
+/// companion paper §5.1 and §6.6.5. Maximum switch-to-switch distance is 6.
+pub fn src_network(seed: u64) -> Topology {
+    let w = 8;
+    let h = 4;
+    // Remove two far-apart switches to get from 32 down to 30.
+    let removed = [0usize, 18]; // (0,0) and (2,2)
+    let keep: Vec<usize> = (0..w * h).filter(|i| !removed.contains(i)).collect();
+    let renumber: std::collections::HashMap<usize, usize> = keep
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+    let idx = |x: usize, y: usize| y * w + x;
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            let a = idx(x, y);
+            for (nx, ny) in [((x + 1) % w, y), (x, (y + 1) % h)] {
+                let b = idx(nx, ny);
+                if let (Some(&ra), Some(&rb)) = (renumber.get(&a), renumber.get(&b)) {
+                    edges.push((ra, rb));
+                }
+            }
+        }
+    }
+    from_edges(keep.len(), &edges, seed, LinkTiming::coax_100m())
+}
+
+/// Attaches `per_switch` dual-homed hosts to every switch: each host's
+/// primary port goes to its home switch and its alternate to the next
+/// switch (by id, wrapping), mirroring the SRC wiring pattern where every
+/// switch serves 4 primary and 4 alternate host links.
+///
+/// Host UIDs are derived from the seed and are distinct from switch UIDs.
+///
+/// # Panics
+///
+/// Panics if a switch runs out of ports.
+pub fn add_dual_homed_hosts(topo: &mut Topology, per_switch: usize, seed: u64) {
+    let n = topo.num_switches();
+    if n == 0 {
+        return;
+    }
+    let mut rng = SimRng::new(seed ^ 0x5757_5757);
+    for s in 0..n {
+        for _ in 0..per_switch {
+            let alt = if n > 1 {
+                Some(SwitchId((s + 1) % n))
+            } else {
+                None
+            };
+            // Host UIDs are drawn from the top of the space so they never
+            // collide with generated switch UIDs in practice; retry on the
+            // (astronomically unlikely) collision.
+            loop {
+                let raw = rng.range(Uid::MASK / 2, Uid::MASK);
+                if topo.attach_host(Uid::new(raw), SwitchId(s), alt).is_ok() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{diameter, is_connected};
+
+    #[test]
+    fn line_shape() {
+        let t = line(5, 0);
+        assert_eq!(t.num_switches(), 5);
+        assert_eq!(t.num_links(), 4);
+        assert!(is_connected(&t.view_all()));
+        assert_eq!(diameter(&t.view_all()), Some(4));
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = ring(6, 0);
+        assert_eq!(t.num_links(), 6);
+        assert_eq!(diameter(&t.view_all()), Some(3));
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(5, 0);
+        assert_eq!(t.num_switches(), 6);
+        assert_eq!(t.num_links(), 5);
+        assert_eq!(diameter(&t.view_all()), Some(2));
+    }
+
+    #[test]
+    fn binary_tree_counts() {
+        let t = tree(2, 3, 0);
+        assert_eq!(t.num_switches(), 15);
+        assert_eq!(t.num_links(), 14);
+        assert_eq!(diameter(&t.view_all()), Some(6));
+    }
+
+    #[test]
+    fn torus_4x8_matches_paper_diameter() {
+        let t = torus(8, 4, 0);
+        assert_eq!(t.num_switches(), 32);
+        assert_eq!(t.num_links(), 64);
+        assert_eq!(diameter(&t.view_all()), Some(6));
+    }
+
+    #[test]
+    fn small_torus_dimensions() {
+        // 1×n degenerates to a line; 2×n uses trunk pairs.
+        let t1 = torus(1, 4, 0);
+        assert!(is_connected(&t1.view_all()));
+        assert_eq!(t1.num_links(), 4); // ring in the h dimension
+        let t2 = torus(2, 3, 0);
+        assert!(is_connected(&t2.view_all()));
+        let t3 = torus(3, 3, 0);
+        assert_eq!(t3.num_links(), 18);
+    }
+
+    #[test]
+    fn grid_has_no_wraparound() {
+        let t = grid(3, 3, 0);
+        assert_eq!(t.num_links(), 12);
+        assert_eq!(diameter(&t.view_all()), Some(4));
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let t = hypercube(4, 0);
+        assert_eq!(t.num_switches(), 16);
+        assert_eq!(t.num_links(), 32);
+        assert_eq!(diameter(&t.view_all()), Some(4));
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 1..20 {
+            let t = random_connected(24, 10, seed);
+            assert_eq!(t.num_switches(), 24);
+            assert!(t.num_links() >= 23);
+            assert!(is_connected(&t.view_all()), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn src_network_matches_paper() {
+        let t = src_network(0);
+        assert_eq!(t.num_switches(), 30);
+        assert!(is_connected(&t.view_all()));
+        let d = diameter(&t.view_all()).unwrap();
+        assert!(
+            (5..=7).contains(&d),
+            "SRC network diameter {d}, paper says max distance 6"
+        );
+        // Every switch uses at most 4 ports for switch-to-switch links,
+        // leaving 8 for hosts, as in the paper.
+        for s in t.switch_ids() {
+            assert!(t.links_at(s).count() <= 4, "{s:?} has too many trunk ports");
+        }
+    }
+
+    #[test]
+    fn src_network_with_hosts_fills_ports() {
+        let mut t = src_network(0);
+        add_dual_homed_hosts(&mut t, 4, 7);
+        assert_eq!(t.num_hosts(), 120);
+        for s in t.switch_ids() {
+            let host_ports = t.hosts_at(s).count();
+            assert!(host_ports == 8, "{s:?} has {host_ports} host ports");
+        }
+    }
+
+    #[test]
+    fn seeded_uids_are_scrambled_but_deterministic() {
+        let a = ring(8, 42);
+        let b = ring(8, 42);
+        let c = ring(8, 43);
+        let uids = |t: &Topology| -> Vec<_> { t.switch_ids().map(|s| t.switch(s).uid).collect() };
+        assert_eq!(uids(&a), uids(&b));
+        assert_ne!(uids(&a), uids(&c));
+        // Seed 0 gives sequential UIDs.
+        let d = ring(8, 0);
+        assert_eq!(uids(&d)[0], Uid::new(1));
+        assert_eq!(uids(&d)[7], Uid::new(8));
+    }
+
+    #[test]
+    fn single_homed_hosts_on_singleton() {
+        let mut t = line(1, 0);
+        add_dual_homed_hosts(&mut t, 2, 1);
+        assert_eq!(t.num_hosts(), 2);
+        assert!(t.host(crate::graph::HostId(0)).alternate.is_none());
+    }
+}

@@ -1,0 +1,84 @@
+//! Software CRC-32.
+//!
+//! Autonet switches forward packets without touching the CRC; CRCs are
+//! generated and checked at the edges — by the Xilinx CRC engine in the host
+//! controller and *in software* on the switch control processor, which has
+//! no CRC hardware (companion paper §5.1). This module is that software
+//! implementation: the IEEE 802.3 polynomial in reflected table-driven form,
+//! the same CRC Ethernet uses, so encapsulated Ethernet frames check out
+//! end to end.
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, built at compile time.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC-32 (IEEE 802.3) of `data`.
+///
+/// # Examples
+///
+/// ```
+/// // The standard CRC-32 check value.
+/// assert_eq!(autonet_wire::crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let mut data = b"hello autonet".to_vec();
+        let original = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                data[byte] ^= 1 << bit;
+                assert_ne!(crc32(&data), original, "flip at {byte}:{bit} undetected");
+                data[byte] ^= 1 << bit;
+            }
+        }
+    }
+
+    #[test]
+    fn crc_depends_on_byte_order() {
+        assert_ne!(crc32(b"ab"), crc32(b"ba"));
+    }
+}

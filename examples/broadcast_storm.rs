@@ -1,0 +1,96 @@
+//! The §7 "amusing surprise": a powered-off host leaves an unterminated,
+//! *reflecting* cable. A reflected broadcast looks like a new broadcast —
+//! it climbs the spanning tree, floods down to every host, reflects again,
+//! and the network melts into a broadcast storm ("all hosts receiving
+//! thousands of broadcast packets per second") until the status sampler
+//! counts enough code violations on the reflecting port to classify it
+//! broken and drop it from the forwarding tables.
+//!
+//! Run with: `cargo run --release --example broadcast_storm`
+
+use autonet::host::BROADCAST_UID;
+use autonet::net::{NetParams, Network};
+use autonet::sim::{SimDuration, SimTime};
+use autonet::topo::{gen, HostId};
+
+fn main() {
+    // A line of three switches, two dual-homed hosts each.
+    let mut topo = gen::line(3, 7);
+    gen::add_dual_homed_hosts(&mut topo, 2, 9);
+    let n_hosts = topo.num_hosts();
+    let mut params = NetParams::tuned();
+    // Let the storm rage a little longer before detection, for drama.
+    params.reflect_detect_delay = SimDuration::from_millis(60);
+    let mut net = Network::new(topo, params, 11);
+    net.run_until_stable(SimTime::from_secs(30))
+        .expect("converges");
+    net.run_for(SimDuration::from_secs(3));
+
+    // Power a host off, cable still plugged in: its port now reflects.
+    let victim = HostId(3);
+    let off_at = net.now() + SimDuration::from_millis(5);
+    net.schedule_host_power_off(off_at, victim);
+    println!("host {victim:?} powered off at {off_at}; its links now reflect signals");
+
+    // An innocent host broadcasts one packet shortly after.
+    let sender = HostId(0);
+    net.schedule_host_send(
+        off_at + SimDuration::from_millis(10),
+        sender,
+        BROADCAST_UID,
+        200,
+        424242,
+    );
+    println!("host {sender:?} sends ONE broadcast packet\n");
+
+    // Watch deliveries of that single packet in 20 ms windows.
+    let mut last_count = 0usize;
+    for window in 0..10 {
+        net.run_for(SimDuration::from_millis(20));
+        let count = net.deliveries().iter().filter(|d| d.tag == 424242).count();
+        let delta = count - last_count;
+        last_count = count;
+        let t = off_at + SimDuration::from_millis(10 + 20 * (window + 1));
+        let bar = "#".repeat((delta / 3).min(60));
+        println!(
+            "  t+{:>3} ms: {delta:>4} copies delivered this window {bar}",
+            10 + 20 * (window + 1)
+        );
+        let _ = t;
+    }
+    let total = last_count;
+    println!("\none broadcast packet produced {total} deliveries across {n_hosts} hosts — a storm");
+    assert!(
+        total > n_hosts * 3,
+        "the storm should deliver many more copies than one flood's worth"
+    );
+
+    // The sampler's BadCode counting eventually condemns the reflecting
+    // port, the forwarding tables drop it, and the storm dies.
+    net.run_for(SimDuration::from_secs(2));
+    let settled = net.deliveries().iter().filter(|d| d.tag == 424242).count();
+    net.run_for(SimDuration::from_secs(1));
+    let after = net.deliveries().iter().filter(|d| d.tag == 424242).count();
+    println!(
+        "after the reflecting port is condemned: {} new copies in the last second",
+        after - settled
+    );
+    assert_eq!(after, settled, "the storm must be over");
+
+    // And a fresh broadcast behaves normally again.
+    net.schedule_host_send(
+        net.now() + SimDuration::from_millis(5),
+        sender,
+        BROADCAST_UID,
+        200,
+        555,
+    );
+    net.run_for(SimDuration::from_secs(1));
+    let clean = net.deliveries().iter().filter(|d| d.tag == 555).count();
+    println!("a fresh broadcast now delivers exactly {clean} copies (one per live host)");
+    println!(
+        "\n§7's proposed better fix — direction-tagged links so wrong-way\n\
+         packets are discarded in hardware — would prevent the storm rather\n\
+         than merely ending it."
+    );
+}

@@ -1,0 +1,84 @@
+//! Growing an installation (§3.3, §7): new switches and links are simply
+//! cabled in and powered on — the network notices, reverifies, and
+//! reconfigures to use them, while existing switch numbers (and therefore
+//! host short addresses) stay put (§6.6.3).
+//!
+//! Run with: `cargo run --release --example network_growth`
+
+use autonet::net::{NetParams, Network};
+use autonet::sim::{SimDuration, SimTime};
+use autonet::topo::{gen, HostId, SwitchId};
+
+fn main() {
+    // The installation is wired for four switches in a ring, but switch 3
+    // is still powered off — the network starts life as a line of three.
+    // (Seed 0 gives sequential UIDs, so the newcomer has the largest UID:
+    // when it proposes switch number 1 — every fresh switch does — it
+    // loses the conflict per §6.6.3 and the established numbers survive.
+    // A newcomer with the *smallest* UID would win the number instead;
+    // that is the paper's rule, and the reason addresses only "usually"
+    // stay the same.)
+    let mut topo = gen::ring(4, 0);
+    gen::add_dual_homed_hosts(&mut topo, 1, 5);
+    let newcomer = SwitchId(3);
+    let mut net = Network::new(topo, NetParams::tuned(), 9);
+    net.schedule_switch_down(SimTime::ZERO, newcomer);
+    net.run_for(SimDuration::from_millis(1));
+    net.run_until_stable(SimTime::from_secs(30))
+        .expect("three-switch net converges");
+    net.run_for(SimDuration::from_secs(3));
+
+    let g = net.autopilot(SwitchId(0)).global().unwrap();
+    println!(
+        "initial configuration: {} switches, root {}, epoch {}",
+        g.switches.len(),
+        g.root,
+        g.epoch
+    );
+    let numbers_before: Vec<_> = (0..3)
+        .map(|i| net.autopilot(SwitchId(i)).switch_number().unwrap())
+        .collect();
+    let addr_before = net.host(HostId(0)).short_address().unwrap();
+    println!("switch numbers: {numbers_before:?}; host 0 address {addr_before}");
+
+    // Facilities plugs in the new switch and turns it on.
+    let power_on = net.now() + SimDuration::from_millis(100);
+    println!("\npowering on {newcomer:?} at {power_on} ...");
+    net.schedule_switch_up(power_on, newcomer);
+    net.run_for(SimDuration::from_millis(200));
+    let done = net
+        .run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("grown network converges");
+    println!(
+        "network regrew to {} switches {} after power-on",
+        net.autopilot(SwitchId(0)).global().unwrap().switches.len(),
+        done.saturating_since(power_on)
+    );
+    net.check_against_reference().expect("consistent");
+
+    // Existing switches kept their numbers; hosts kept their addresses.
+    let numbers_after: Vec<_> = (0..3)
+        .map(|i| net.autopilot(SwitchId(i)).switch_number().unwrap())
+        .collect();
+    assert_eq!(numbers_before, numbers_after, "numbers must be stable");
+    assert_eq!(net.host(HostId(0)).short_address().unwrap(), addr_before);
+    println!(
+        "existing switch numbers unchanged: {numbers_after:?}; newcomer got {:?}",
+        net.autopilot(newcomer).switch_number().unwrap()
+    );
+
+    // The new path is genuinely in service: traffic between the newcomer's
+    // neighbors can now take the short way around the ring.
+    net.run_for(SimDuration::from_secs(3));
+    let dst = net.topology().host(HostId(3)).uid;
+    net.schedule_host_send(
+        net.now() + SimDuration::from_millis(5),
+        HostId(0),
+        dst,
+        512,
+        42,
+    );
+    net.run_for(SimDuration::from_secs(1));
+    assert!(net.deliveries().iter().any(|d| d.tag == 42));
+    println!("traffic flows to the host on the new switch; growth complete");
+}

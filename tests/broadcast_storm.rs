@@ -1,0 +1,76 @@
+//! Integration: the §7 broadcast storm — a reflecting (unterminated) host
+//! link turns one broadcast into a storm until the status sampler condemns
+//! the port — and the network's recovery afterwards.
+
+use autonet::host::BROADCAST_UID;
+use autonet::net::{NetParams, Network};
+use autonet::sim::{SimDuration, SimTime};
+use autonet::topo::{gen, HostId};
+
+#[test]
+fn reflecting_port_storms_then_is_condemned() {
+    let mut topo = gen::line(3, 7);
+    gen::add_dual_homed_hosts(&mut topo, 2, 9);
+    let n_hosts = topo.num_hosts();
+    let mut params = NetParams::tuned();
+    params.reflect_detect_delay = SimDuration::from_millis(40);
+    let mut net = Network::new(topo, params, 11);
+    net.run_until_stable(SimTime::from_secs(30))
+        .expect("converges");
+    net.run_for(SimDuration::from_secs(3));
+
+    let victim = HostId(3);
+    let off_at = net.now() + SimDuration::from_millis(5);
+    net.schedule_host_power_off(off_at, victim);
+    net.schedule_host_send(
+        off_at + SimDuration::from_millis(10),
+        HostId(0),
+        BROADCAST_UID,
+        200,
+        42,
+    );
+    net.run_for(SimDuration::from_secs(2));
+    let storm = net.deliveries().iter().filter(|d| d.tag == 42).count();
+    assert!(
+        storm > n_hosts * 10,
+        "one broadcast must multiply into a storm, got {storm}"
+    );
+
+    // The storm must be over: no new copies arrive any more.
+    net.run_for(SimDuration::from_secs(1));
+    let settled = net.deliveries().iter().filter(|d| d.tag == 42).count();
+    net.run_for(SimDuration::from_secs(1));
+    let after = net.deliveries().iter().filter(|d| d.tag == 42).count();
+    assert_eq!(after, settled, "storm must have been stopped");
+
+    // A new broadcast behaves: exactly one copy per live host.
+    net.schedule_host_send(
+        net.now() + SimDuration::from_millis(5),
+        HostId(0),
+        BROADCAST_UID,
+        200,
+        43,
+    );
+    net.run_for(SimDuration::from_secs(1));
+    let clean = net.deliveries().iter().filter(|d| d.tag == 43).count();
+    assert_eq!(clean, n_hosts - 1, "one copy per live host");
+
+    // Power the host back on: the link stops reflecting, the port is
+    // re-admitted (after the skeptic's hold), and the host rejoins.
+    net.schedule_host_power_on(net.now() + SimDuration::from_millis(10), victim);
+    net.run_for(SimDuration::from_secs(10));
+    assert!(
+        net.host(victim).short_address().is_some(),
+        "rebooted host re-learns an address"
+    );
+    net.schedule_host_send(
+        net.now() + SimDuration::from_millis(5),
+        HostId(0),
+        BROADCAST_UID,
+        200,
+        44,
+    );
+    net.run_for(SimDuration::from_secs(1));
+    let full = net.deliveries().iter().filter(|d| d.tag == 44).count();
+    assert_eq!(full, n_hosts, "the revived host receives broadcasts again");
+}

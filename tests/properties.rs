@@ -1,0 +1,211 @@
+//! Property-based tests on the core invariants.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use autonet::autopilot::Epoch;
+use autonet::autopilot::{
+    assign_switch_numbers, global_from_view_simple, ControlMsg, RouteComputer, RouteKind,
+    SrpPayload, SwitchInfo, TreePosition,
+};
+use autonet::topo::gen;
+use autonet::wire::{crc32, Packet, PacketType, ShortAddress, Uid};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Up*/down* routing is deadlock-free on arbitrary connected graphs.
+    #[test]
+    fn updown_deadlock_free_on_random_graphs(
+        n in 2usize..24,
+        extra in 0usize..12,
+        seed in 1u64..10_000,
+    ) {
+        let topo = gen::random_connected(n, extra, seed);
+        let global = global_from_view_simple(&topo.view_all()).expect("non-empty");
+        let rc = RouteComputer::new(&global);
+        prop_assert!(!rc.has_dependency_cycle(RouteKind::UpDown));
+    }
+
+    /// Every switch can reach every other via a legal route, and legal
+    /// routes are never shorter than unrestricted ones.
+    #[test]
+    fn updown_reaches_everything(
+        n in 2usize..20,
+        extra in 0usize..10,
+        seed in 1u64..10_000,
+    ) {
+        let topo = gen::random_connected(n, extra, seed);
+        let global = global_from_view_simple(&topo.view_all()).expect("non-empty");
+        let rc = RouteComputer::new(&global);
+        for a in &global.switches {
+            for b in &global.switches {
+                let legal = rc.legal_dist(a.uid, b.uid);
+                prop_assert!(legal.is_some(), "{:?} cannot reach {:?}", a.uid, b.uid);
+                let short = rc.unrestricted_dist(a.uid, b.uid).unwrap();
+                prop_assert!(legal.unwrap() >= short);
+            }
+        }
+    }
+
+    /// All usable links carry minimal routes (§6.6.4: "all links used").
+    #[test]
+    fn all_links_carry_traffic(
+        n in 3usize..16,
+        extra in 0usize..8,
+        seed in 1u64..10_000,
+    ) {
+        let topo = gen::random_connected(n, extra, seed);
+        let global = global_from_view_simple(&topo.view_all()).expect("non-empty");
+        let rc = RouteComputer::new(&global);
+        let stats = rc.stats();
+        for (li, &load) in stats.link_loads.iter().enumerate() {
+            prop_assert!(load > 0, "link {li} unused (seed {seed})");
+        }
+    }
+
+    /// Switch-number assignment is a bijection that honors uncontested
+    /// proposals.
+    #[test]
+    fn number_assignment_properties(
+        proposals in prop::collection::vec(0u16..50, 1..40),
+    ) {
+        let switches: Vec<SwitchInfo> = proposals
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| SwitchInfo {
+                uid: Uid::new(i as u64 + 1),
+                proposed_number: p,
+                parent: Uid::new(i as u64 + 1),
+                parent_port: 0,
+                links: vec![],
+                host_ports: vec![],
+            })
+            .collect();
+        let assigned = assign_switch_numbers(&switches);
+        prop_assert_eq!(assigned.len(), switches.len());
+        let values: std::collections::BTreeSet<_> = assigned.values().collect();
+        prop_assert_eq!(values.len(), switches.len(), "numbers must be unique");
+        // Re-proposing the assignment is a fixpoint.
+        let again: Vec<SwitchInfo> = switches
+            .iter()
+            .map(|s| SwitchInfo {
+                proposed_number: assigned[&s.uid],
+                ..s.clone()
+            })
+            .collect();
+        prop_assert_eq!(assign_switch_numbers(&again), assigned);
+    }
+
+    /// The packet codec round-trips arbitrary payloads and detects
+    /// corruption.
+    #[test]
+    fn packet_codec_roundtrip(
+        dst in 0u16..=u16::MAX,
+        src in 0u16..=u16::MAX,
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let p = Packet::new(
+            ShortAddress::from_raw(dst),
+            ShortAddress::from_raw(src),
+            PacketType::Data,
+            payload,
+        );
+        let mut bytes = p.encode();
+        prop_assert_eq!(Packet::decode(&bytes).unwrap(), p);
+        // Any single-bit corruption is caught by the CRC.
+        let i = flip_byte.index(bytes.len());
+        bytes[i] ^= 1 << flip_bit;
+        prop_assert!(Packet::decode(&bytes).is_err());
+    }
+
+    /// The control-message codec round-trips structured messages.
+    #[test]
+    fn control_msg_codec_roundtrip(
+        epoch in 0u64..1_000_000,
+        seq in 0u64..1_000_000,
+        port in 1u8..13,
+        root in 1u64..1_000_000,
+        level in 0u32..64,
+        is_parent in any::<bool>(),
+    ) {
+        let pos = TreePosition {
+            root: Uid::new(root),
+            level,
+            parent: Uid::new(root + 1),
+            parent_port: port,
+        };
+        for msg in [
+            ControlMsg::TreePosition { epoch: Epoch(epoch), seq, from_port: port, pos },
+            ControlMsg::TreePositionAck {
+                epoch: Epoch(epoch),
+                seq,
+                is_parent,
+                sender_seq: seq + 1,
+                sender_from_port: port,
+                sender_pos: pos,
+            },
+            ControlMsg::Probe { seq, origin: Uid::new(root), origin_port: port },
+            ControlMsg::Srp { route: vec![port, 1, 2], hop: 1, back_route: vec![3, port], payload: SrpPayload::Ping },
+        ] {
+            let bytes = msg.encode();
+            prop_assert_eq!(ControlMsg::decode(&bytes).unwrap(), msg);
+        }
+    }
+
+    /// CRC-32 detects all single-bit and all two-bit errors in short
+    /// messages (it is a distance-4 code over these lengths).
+    #[test]
+    fn crc_detects_small_errors(
+        data in prop::collection::vec(any::<u8>(), 1..64),
+        a in any::<prop::sample::Index>(),
+        b in any::<prop::sample::Index>(),
+    ) {
+        let base = crc32(&data);
+        let mut one = data.clone();
+        let i = a.index(one.len() * 8);
+        one[i / 8] ^= 1 << (i % 8);
+        prop_assert_ne!(crc32(&one), base);
+        let j = b.index(one.len() * 8);
+        if j != i {
+            let mut two = one.clone();
+            two[j / 8] ^= 1 << (j % 8);
+            prop_assert_ne!(crc32(&two), base);
+        }
+    }
+
+    /// Short-address packing is a bijection over the assignable range.
+    #[test]
+    fn short_address_packing(switch in 1u16..=0xFFE, port in 0u8..16) {
+        let addr = ShortAddress::assigned(switch, port);
+        prop_assert!(addr.is_assigned());
+        prop_assert_eq!(addr.split_assigned(), Some((switch, port)));
+        prop_assert!(!addr.is_broadcast());
+        prop_assert_eq!(ShortAddress::from_bytes(addr.to_bytes()), addr);
+    }
+}
+
+/// Deterministic (non-proptest) property: the reference topology builder
+/// produces trees whose levels are exactly BFS distance from the minimum
+/// UID, across many seeds.
+#[test]
+fn reference_tree_levels_are_bfs_distances() {
+    for seed in 1..30 {
+        let topo = gen::random_connected(14, 7, seed);
+        let view = topo.view_all();
+        let global = global_from_view_simple(&view).unwrap();
+        let root_id = topo.switch_by_uid(global.root).unwrap();
+        let dist = autonet::topo::bfs_distances(&view, root_id);
+        let levels = global.levels().unwrap();
+        let by_uid: BTreeMap<Uid, u32> = topo
+            .switch_ids()
+            .map(|s| (topo.switch(s).uid, dist[s.0].unwrap()))
+            .collect();
+        for (uid, level) in levels {
+            assert_eq!(level, by_uid[&uid], "seed {seed}, uid {uid}");
+        }
+    }
+}

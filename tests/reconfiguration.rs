@@ -1,0 +1,190 @@
+//! Integration tests: the full reconfiguration system against the
+//! graph-theoretic reference, across topologies, seeds and fault patterns.
+
+use autonet::net::{NetParams, Network};
+use autonet::sim::{SimDuration, SimTime};
+use autonet::topo::{gen, LinkId, SwitchId, Topology};
+
+/// Builds, converges and reference-checks a network.
+fn converge(topo: Topology, seed: u64) -> Network {
+    let mut net = Network::new(topo, NetParams::tuned(), seed);
+    net.run_until_stable(SimTime::from_secs(60))
+        .expect("network must converge");
+    net.check_against_reference().expect("reference mismatch");
+    net
+}
+
+#[test]
+fn every_topology_family_self_configures() {
+    let topologies: Vec<(&str, Topology)> = vec![
+        ("line", gen::line(5, 21)),
+        ("ring", gen::ring(6, 22)),
+        ("star", gen::star(5, 23)),
+        ("tree", gen::tree(2, 2, 24)),
+        ("grid", gen::grid(3, 3, 25)),
+        ("torus", gen::torus(3, 3, 26)),
+        ("hypercube", gen::hypercube(3, 27)),
+        ("random", gen::random_connected(12, 6, 28)),
+    ];
+    for (name, topo) in topologies {
+        let n = topo.num_switches();
+        let net = converge(topo, 7);
+        let g = net.autopilot(SwitchId(0)).global().unwrap();
+        assert_eq!(g.switches.len(), n, "{name}: incomplete topology");
+        // Every switch agrees byte for byte on the number assignment.
+        for s in net.topology().switch_ids() {
+            assert_eq!(
+                net.autopilot(s).global().unwrap().numbers,
+                g.numbers,
+                "{name}: switch {s:?} disagrees"
+            );
+        }
+    }
+}
+
+#[test]
+fn seeds_do_not_matter_for_the_outcome() {
+    // Different boot orders and jitters must converge to the same tree.
+    let mut roots = Vec::new();
+    for seed in 1..=5 {
+        let net = converge(gen::torus(3, 3, 99), seed);
+        roots.push(net.autopilot(SwitchId(0)).global().unwrap().root);
+    }
+    assert!(roots.windows(2).all(|w| w[0] == w[1]), "{roots:?}");
+}
+
+#[test]
+fn simultaneous_failures_coalesce_to_one_epoch() {
+    // E15's property: k concurrent link failures end in a single final
+    // epoch shared by every switch, with a consistent topology.
+    let topo = gen::torus(4, 4, 31);
+    let mut net = converge(topo, 11);
+    let t = net.now() + SimDuration::from_millis(10);
+    // Four failures within a millisecond of each other (none disconnect a
+    // 4x4 torus).
+    for (i, l) in [0usize, 7, 13, 21].iter().enumerate() {
+        net.schedule_link_down(t + SimDuration::from_micros(200 * i as u64), LinkId(*l));
+    }
+    net.run_for(SimDuration::from_millis(20));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("must reconverge after simultaneous failures");
+    net.check_against_reference()
+        .expect("consistent after coalescing");
+    let e0 = net.autopilot(SwitchId(0)).epoch();
+    for s in net.topology().switch_ids() {
+        assert_eq!(net.autopilot(s).epoch(), e0);
+    }
+    let g = net.autopilot(SwitchId(0)).global().unwrap();
+    assert_eq!(g.switches.len(), 16);
+}
+
+#[test]
+fn failure_during_reconfiguration_is_absorbed() {
+    // A second failure lands while the first reconfiguration is still in
+    // flight; the higher epoch must win everywhere.
+    let topo = gen::torus(4, 4, 37);
+    let mut net = converge(topo, 13);
+    let t = net.now() + SimDuration::from_millis(10);
+    net.schedule_link_down(t, LinkId(3));
+    // ~15 ms later the reconfiguration is typically mid-flight.
+    net.schedule_link_down(t + SimDuration::from_millis(15), LinkId(17));
+    net.run_for(SimDuration::from_millis(40));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("must absorb overlapping failures");
+    net.check_against_reference().expect("consistent");
+}
+
+#[test]
+fn repair_reintegrates_the_link() {
+    let topo = gen::ring(5, 41);
+    let mut net = converge(topo, 17);
+    let t = net.now() + SimDuration::from_millis(10);
+    net.schedule_link_down(t, LinkId(2));
+    net.run_for(SimDuration::from_millis(50));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("converges without the link");
+    // Repair; the skeptics will readmit a first-offense link quickly.
+    let t2 = net.now() + SimDuration::from_millis(10);
+    net.schedule_link_up(t2, LinkId(2));
+    net.run_for(SimDuration::from_millis(50));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("converges with the link restored");
+    net.check_against_reference().expect("consistent");
+    // All five switches report five links... i.e. every switch sees the
+    // full ring again.
+    let g = net.autopilot(SwitchId(0)).global().unwrap();
+    let link_ends: usize = g.switches.iter().map(|s| s.links.len()).sum();
+    assert_eq!(link_ends, 10, "all 5 ring links reported from both ends");
+}
+
+#[test]
+fn switch_numbers_stay_stable_across_epochs() {
+    // §6.6.3: switches propose their previous numbers; short addresses
+    // tend to survive reconfigurations.
+    let topo = gen::torus(3, 3, 43);
+    let mut net = converge(topo, 19);
+    let numbers_before: Vec<_> = net
+        .topology()
+        .switch_ids()
+        .map(|s| net.autopilot(s).switch_number().unwrap())
+        .collect();
+    // A fault that does not remove any switch.
+    let t = net.now() + SimDuration::from_millis(10);
+    net.schedule_link_down(t, LinkId(1));
+    net.run_for(SimDuration::from_millis(50));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("reconverges");
+    let numbers_after: Vec<_> = net
+        .topology()
+        .switch_ids()
+        .map(|s| net.autopilot(s).switch_number().unwrap())
+        .collect();
+    assert_eq!(numbers_before, numbers_after, "numbers must not churn");
+}
+
+#[test]
+fn src_network_reconfigures_subsecond() {
+    // §6.6.5 headline: the 30-switch SRC network reconfigures in well
+    // under a second with the tuned implementation.
+    let topo = gen::src_network(47);
+    let mut net = converge(topo, 23);
+    let fault_at = net.now() + SimDuration::from_millis(10);
+    net.schedule_link_down(fault_at, LinkId(0));
+    net.run_for(SimDuration::from_millis(20));
+    let done = net
+        .run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("reconverges");
+    let took = done.saturating_since(fault_at);
+    assert!(
+        took < SimDuration::from_secs(1),
+        "reconfiguration took {took}, expected < 1 s"
+    );
+    net.check_against_reference().expect("consistent");
+}
+
+#[test]
+fn loopback_cable_is_excluded_from_routes() {
+    // A cable plugged back into the same switch must be classified
+    // s.switch.loop and contribute nothing to the configuration.
+    let mut topo = gen::line(3, 0);
+    let s1 = SwitchId(1);
+    topo.connect(s1, s1, autonet::wire::LinkTiming::coax_100m())
+        .expect("loop cable");
+    let mut net = Network::new(topo, NetParams::tuned(), 29);
+    net.run_until_stable(SimTime::from_secs(60))
+        .expect("converges");
+    net.check_against_reference().expect("consistent");
+    let ap = net.autopilot(s1);
+    // Two line links + the loop's two ports; the loop's ports are
+    // s.switch.loop, not good.
+    assert_eq!(ap.good_ports().len(), 2);
+    let g = ap.global().unwrap();
+    assert_eq!(g.switches.len(), 3);
+    // The loop link never shows up in anyone's adjacency (only mutually
+    // confirmed good links are reported).
+    for s in &g.switches {
+        for l in &s.links {
+            assert_ne!(l.neighbor, s.uid, "loopback link in topology report");
+        }
+    }
+}

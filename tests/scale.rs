@@ -1,0 +1,56 @@
+//! Scale smoke tests: the paper sizes an Autonet at up to ~1000
+//! dual-connected hosts (§2); the reconfiguration protocol must keep
+//! working well beyond the 30-switch service network.
+
+use autonet::net::{NetParams, Network};
+use autonet::sim::{SimDuration, SimTime};
+use autonet::topo::{gen, LinkId, SwitchId};
+
+#[test]
+fn five_by_five_torus_with_hosts() {
+    let mut topo = gen::torus(5, 5, 55);
+    gen::add_dual_homed_hosts(&mut topo, 2, 57);
+    let mut net = Network::new(topo, NetParams::tuned(), 1);
+    net.run_until_stable(SimTime::from_secs(60))
+        .expect("converges");
+    net.check_against_reference().expect("consistent");
+    // Survive a fault and a repair.
+    let t = net.now() + SimDuration::from_millis(10);
+    net.schedule_link_down(t, LinkId(11));
+    net.run_for(SimDuration::from_millis(50));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("reconverges");
+    net.check_against_reference()
+        .expect("consistent after fault");
+    let g = net.autopilot(SwitchId(0)).global().unwrap();
+    assert_eq!(g.switches.len(), 25);
+}
+
+/// The big one: a 100-switch torus (400 trunk links). Run explicitly with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "heavy: run with --release -- --ignored"]
+fn hundred_switch_torus() {
+    let topo = gen::torus(10, 10, 99);
+    let mut net = Network::new(topo, NetParams::tuned(), 2);
+    let t = net
+        .run_until_stable(SimTime::from_secs(120))
+        .expect("100-switch bring-up converges");
+    net.check_against_reference().expect("consistent");
+    println!("100-switch bring-up converged at {t}");
+    // One fault, timed.
+    let fault = net.now() + SimDuration::from_millis(10);
+    net.schedule_link_down(fault, LinkId(0));
+    net.run_for(SimDuration::from_millis(50));
+    let done = net
+        .run_until_stable(net.now() + SimDuration::from_secs(120))
+        .expect("reconverges");
+    println!(
+        "100-switch reconfiguration: {}",
+        done.saturating_since(fault)
+    );
+    assert!(
+        done.saturating_since(fault) < SimDuration::from_secs(2),
+        "even at 100 switches reconfiguration stays subsecond-ish"
+    );
+}
