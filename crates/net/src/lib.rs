@@ -30,7 +30,7 @@ mod ring;
 mod slotnet;
 pub mod workload;
 
-pub use network::{DeliveryRecord, NetEvent, NetEventKind, Network, NetworkStats};
+pub use network::{DeliveryRecord, NetEvent, NetEventKind, NetStats, Network, NetworkStats};
 pub use params::{CpuModel, NetParams};
 pub use ring::{RingStats, TokenRing};
 pub use slotnet::SlotNet;

@@ -1,0 +1,130 @@
+//! The event vocabulary of the packet-level simulation.
+
+use autonet_core::{Epoch, SrpPayload};
+use autonet_sim::SimTime;
+use autonet_topo::{HostId, SwitchId};
+use autonet_wire::{Packet, PortIndex, ShortAddress, Uid};
+
+/// Which physical path carried a packet (checked again at delivery so
+/// packets in flight on a failing link are lost).
+#[derive(Clone, Copy, Debug)]
+#[doc(hidden)]
+pub enum Via {
+    Link(usize),
+    HostLink(usize, usize),
+    Reflection,
+}
+
+/// Simulation events (public only because the `World` impl exposes the
+/// type; constructed exclusively through `Network` methods).
+#[doc(hidden)]
+pub enum Event {
+    SwitchBoot {
+        s: usize,
+    },
+    SwitchTick {
+        s: usize,
+    },
+    SwitchSample {
+        s: usize,
+    },
+    SwitchRx {
+        s: usize,
+        port: PortIndex,
+        packet: Packet,
+        via: Via,
+    },
+    SwitchCpuDone {
+        s: usize,
+        port: PortIndex,
+        packet: Packet,
+    },
+    HostBoot {
+        h: usize,
+    },
+    HostTick {
+        h: usize,
+    },
+    HostRx {
+        h: usize,
+        cport: usize,
+        packet: Packet,
+        via: Via,
+    },
+    HostSend {
+        h: usize,
+        dst: Uid,
+        len: usize,
+        tag: u64,
+    },
+    SrpRequest {
+        s: usize,
+        route: Vec<PortIndex>,
+        payload: SrpPayload,
+    },
+    LinkDown {
+        l: usize,
+    },
+    LinkUp {
+        l: usize,
+    },
+    SwitchDown {
+        s: usize,
+    },
+    SwitchUp {
+        s: usize,
+    },
+    HostLinkDown {
+        h: usize,
+        which: usize,
+    },
+    HostLinkUp {
+        h: usize,
+        which: usize,
+    },
+    HostPowerOff {
+        h: usize,
+    },
+    HostPowerOn {
+        h: usize,
+    },
+}
+
+/// Observable network happenings, timestamped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub kind: NetEventKind,
+}
+
+/// Kinds of observable events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetEventKind {
+    /// A switch closed for host traffic (reconfiguration step 1).
+    SwitchClosed(SwitchId),
+    /// A switch reopened with the given epoch.
+    SwitchOpened(SwitchId, Epoch),
+    /// A host failed over to the other controller port.
+    HostPortSwitched(HostId, usize),
+    /// A host learned a short address.
+    HostAddressLearned(HostId, ShortAddress),
+    /// A fault-injection event took effect.
+    Fault(String),
+}
+
+/// One delivered data frame.
+#[derive(Clone, Debug)]
+pub struct DeliveryRecord {
+    /// Delivery time.
+    pub time: SimTime,
+    /// The receiving host.
+    pub host: HostId,
+    /// Sender UID.
+    pub src: Uid,
+    /// The workload tag (first 8 payload bytes), 0 if none.
+    pub tag: u64,
+    /// Payload length.
+    pub len: usize,
+}

@@ -1,0 +1,143 @@
+//! Fault injection: link and switch failures/repairs, host power events,
+//! flapping cables.
+
+use autonet_host::HostController;
+use autonet_sim::{Scheduler, SimDuration, SimTime};
+use autonet_topo::{HostId, LinkId, SwitchId};
+
+use super::events::{Event, NetEventKind};
+use super::switch_node::SwitchSim;
+use super::{NetWorld, Network};
+
+impl NetWorld {
+    pub(super) fn on_link_down(&mut self, now: SimTime, l: usize) {
+        self.link_up[l] = false;
+        self.log_event(now, NetEventKind::Fault(format!("link {l} down")));
+    }
+
+    pub(super) fn on_link_up(&mut self, now: SimTime, l: usize) {
+        self.link_up[l] = true;
+        self.log_event(now, NetEventKind::Fault(format!("link {l} up")));
+    }
+
+    pub(super) fn on_switch_down(&mut self, now: SimTime, s: usize) {
+        self.switches[s].up = false;
+        self.log_event(now, NetEventKind::Fault(format!("switch {s} down")));
+    }
+
+    /// Reboots the switch with a fresh Autopilot (and a fresh dead-port
+    /// mirror: everything starts condemned again).
+    pub(super) fn on_switch_up(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        let uid = self.topo.switch(SwitchId(s)).uid;
+        self.switches[s] = SwitchSim::new(uid, self.params.autopilot, s as u32, now);
+        self.log_event(now, NetEventKind::Fault(format!("switch {s} up")));
+        sched.after(SimDuration::ZERO, Event::SwitchBoot { s });
+    }
+
+    pub(super) fn on_host_power_off(&mut self, now: SimTime, h: usize) {
+        self.hosts[h].up = false;
+        self.host_powered_off_at[h] = Some(now);
+        self.log_event(now, NetEventKind::Fault(format!("host {h} powered off")));
+    }
+
+    pub(super) fn on_host_power_on(
+        &mut self,
+        now: SimTime,
+        h: usize,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        self.hosts[h].up = true;
+        self.host_powered_off_at[h] = None;
+        let uid = self.topo.host(HostId(h)).uid;
+        let dual = self.topo.host(HostId(h)).alternate.is_some();
+        self.hosts[h].ctl = HostController::new(uid, self.params.host, dual);
+        self.log_event(now, NetEventKind::Fault(format!("host {h} powered on")));
+        sched.after(SimDuration::ZERO, Event::HostBoot { h });
+    }
+
+    pub(super) fn on_host_link_down(&mut self, now: SimTime, h: usize, which: usize) {
+        self.host_link_up[h][which] = false;
+        self.log_event(
+            now,
+            NetEventKind::Fault(format!("host {h} link {which} down")),
+        );
+    }
+
+    pub(super) fn on_host_link_up(&mut self, now: SimTime, h: usize, which: usize) {
+        self.host_link_up[h][which] = true;
+        self.log_event(
+            now,
+            NetEventKind::Fault(format!("host {h} link {which} up")),
+        );
+    }
+}
+
+impl Network {
+    /// Schedules a link failure.
+    pub fn schedule_link_down(&mut self, at: SimTime, l: LinkId) {
+        self.sim.schedule_at(at, Event::LinkDown { l: l.0 });
+    }
+
+    /// Schedules a link repair.
+    pub fn schedule_link_up(&mut self, at: SimTime, l: LinkId) {
+        self.sim.schedule_at(at, Event::LinkUp { l: l.0 });
+    }
+
+    /// Schedules a switch crash.
+    pub fn schedule_switch_down(&mut self, at: SimTime, s: SwitchId) {
+        self.sim.schedule_at(at, Event::SwitchDown { s: s.0 });
+    }
+
+    /// Schedules a switch power-on (reboots a fresh Autopilot).
+    pub fn schedule_switch_up(&mut self, at: SimTime, s: SwitchId) {
+        self.sim.schedule_at(at, Event::SwitchUp { s: s.0 });
+    }
+
+    /// Schedules a host power-off with cables left attached: the
+    /// unterminated links *reflect* (§5.3), which is what made the §7
+    /// broadcast storm possible, until the switch's status sampler counts
+    /// enough code violations to kill the ports.
+    pub fn schedule_host_power_off(&mut self, at: SimTime, h: HostId) {
+        self.sim.schedule_at(at, Event::HostPowerOff { h: h.0 });
+    }
+
+    /// Schedules the host powering back on.
+    pub fn schedule_host_power_on(&mut self, at: SimTime, h: HostId) {
+        self.sim.schedule_at(at, Event::HostPowerOn { h: h.0 });
+    }
+
+    /// Schedules a host-link failure (`which`: 0 primary, 1 alternate).
+    pub fn schedule_host_link_down(&mut self, at: SimTime, h: HostId, which: usize) {
+        self.sim
+            .schedule_at(at, Event::HostLinkDown { h: h.0, which });
+    }
+
+    /// Schedules a host-link repair.
+    pub fn schedule_host_link_up(&mut self, at: SimTime, h: HostId, which: usize) {
+        self.sim
+            .schedule_at(at, Event::HostLinkUp { h: h.0, which });
+    }
+
+    /// Schedules `2 * cycles` alternating down/up events on a link: a
+    /// flapping (intermittent) cable.
+    pub fn schedule_link_flaps(
+        &mut self,
+        from: SimTime,
+        l: LinkId,
+        half_period: SimDuration,
+        cycles: usize,
+    ) {
+        let mut t = from;
+        for _ in 0..cycles {
+            self.schedule_link_down(t, l);
+            t += half_period;
+            self.schedule_link_up(t, l);
+            t += half_period;
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Host controllers: boot/tick cadence, packet delivery and data
+//! injection.
+
+use autonet_host::{EthFrame, HostAction, HostController, IP_ETHERTYPE};
+use autonet_sim::{Scheduler, SimTime};
+use autonet_topo::HostId;
+use autonet_wire::{Packet, Uid};
+
+use super::events::{DeliveryRecord, Event, NetEventKind, Via};
+use super::{NetWorld, Network};
+
+/// One host in the packet-level world.
+pub(super) struct HostSim {
+    pub(super) ctl: HostController,
+    pub(super) up: bool,
+}
+
+impl NetWorld {
+    /// Executes a batch of host controller actions.
+    fn apply_host_actions(
+        &mut self,
+        now: SimTime,
+        h: usize,
+        actions: Vec<HostAction>,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        for action in actions {
+            match action {
+                HostAction::Transmit { port, packet } => {
+                    self.transmit_from_host(now, h, port, packet, sched);
+                }
+                HostAction::Deliver(frame) => {
+                    let tag = if frame.payload.len() >= 8 {
+                        u64::from_be_bytes(frame.payload[..8].try_into().expect("8 bytes"))
+                    } else {
+                        0
+                    };
+                    self.stats.data_delivered += 1;
+                    self.deliveries.push(DeliveryRecord {
+                        time: now,
+                        host: HostId(h),
+                        src: frame.src,
+                        tag,
+                        len: frame.payload.len(),
+                    });
+                }
+                HostAction::PortSwitched { active } => {
+                    self.log_event(now, NetEventKind::HostPortSwitched(HostId(h), active));
+                }
+                HostAction::AddressLearned(addr) => {
+                    self.log_event(now, NetEventKind::HostAddressLearned(HostId(h), addr));
+                }
+            }
+        }
+    }
+
+    pub(super) fn on_host_boot(
+        &mut self,
+        now: SimTime,
+        h: usize,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.hosts[h].up {
+            return;
+        }
+        let actions = self.hosts[h].ctl.boot(now);
+        self.apply_host_actions(now, h, actions, sched);
+        sched.after(self.params.host_tick, Event::HostTick { h });
+    }
+
+    pub(super) fn on_host_tick(
+        &mut self,
+        now: SimTime,
+        h: usize,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.hosts[h].up {
+            return;
+        }
+        let actions = self.hosts[h].ctl.on_tick(now);
+        self.apply_host_actions(now, h, actions, sched);
+        sched.after(self.params.host_tick, Event::HostTick { h });
+    }
+
+    pub(super) fn on_host_rx(
+        &mut self,
+        now: SimTime,
+        h: usize,
+        cport: usize,
+        packet: Packet,
+        via: Via,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.hosts[h].up || !self.via_intact(via) {
+            self.stats.lost_in_flight += 1;
+            return;
+        }
+        let actions = self.hosts[h].ctl.on_packet(now, cport, &packet);
+        self.apply_host_actions(now, h, actions, sched);
+    }
+
+    pub(super) fn on_host_send(
+        &mut self,
+        now: SimTime,
+        h: usize,
+        dst: Uid,
+        len: usize,
+        tag: u64,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.hosts[h].up {
+            return;
+        }
+        let mut payload = Vec::with_capacity(len.max(8));
+        payload.extend_from_slice(&tag.to_be_bytes());
+        payload.resize(len.max(8), 0);
+        let frame = EthFrame::new(dst, self.hosts[h].ctl.uid(), IP_ETHERTYPE, payload);
+        self.stats.data_sent += 1;
+        let actions = self.hosts[h].ctl.send(now, frame);
+        self.apply_host_actions(now, h, actions, sched);
+    }
+}
+
+impl Network {
+    /// A host's controller, for inspection.
+    pub fn host(&self, h: HostId) -> &HostController {
+        &self.sim.world().hosts[h.0].ctl
+    }
+
+    /// Schedules a host data frame.
+    pub fn schedule_host_send(&mut self, at: SimTime, h: HostId, dst: Uid, len: usize, tag: u64) {
+        self.sim.schedule_at(
+            at,
+            Event::HostSend {
+                h: h.0,
+                dst,
+                len,
+                tag,
+            },
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! The packet-level network simulation.
+//!
+//! Control plane at full fidelity (every Autopilot message is a real
+//! packet with bandwidth, propagation and control-processor costs), data
+//! plane at packet granularity (forwarding-table lookups per hop, link
+//! serialization, no per-byte flow control — that lives in the slot-level
+//! model of `autonet-switch::datapath`).
+//!
+//! [`Network`] is a facade over focused submodules:
+//!
+//! - `events`: the event vocabulary ([`Event`], [`NetEvent`], ...);
+//! - `switch_node`: one switch = one `autonet_harness::NodeHarness`
+//!   driving its Autopilot over a packet-level `Environment` view;
+//! - `host_node`: host controllers and data injection;
+//! - `links`: the wires — serialization, propagation, reflection, status
+//!   synthesis, data forwarding;
+//! - `faults`: fault injection and repair;
+//! - `stats`: convergence checks, the reference comparison, traces.
+
+mod events;
+mod faults;
+mod host_node;
+mod links;
+mod stats;
+mod switch_node;
+#[cfg(test)]
+mod tests;
+
+pub use autonet_harness::NetStats;
+#[doc(hidden)]
+pub use events::Event;
+pub use events::{DeliveryRecord, NetEvent, NetEventKind};
+
+/// Former name of the aggregate counters, now the backend-shared
+/// [`NetStats`].
+pub type NetworkStats = NetStats;
+
+use autonet_core::{compute_forwarding_table, RouteKind};
+use autonet_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulator, World};
+use autonet_switch::ForwardingTable;
+use autonet_topo::Topology;
+use autonet_wire::Uid;
+
+use crate::params::NetParams;
+use host_node::HostSim;
+use switch_node::SwitchSim;
+
+/// The simulation world (driven through [`Network`]).
+pub struct NetWorld {
+    topo: Topology,
+    params: NetParams,
+    switches: Vec<SwitchSim>,
+    hosts: Vec<HostSim>,
+    link_up: Vec<bool>,
+    /// Per-direction link busy times; index 0 = a→b.
+    link_busy: Vec<[SimTime; 2]>,
+    host_link_up: Vec<[bool; 2]>,
+    /// When a host was powered off with its cables still attached, the
+    /// unterminated links reflect signals (§5.3, §7) until the switch's
+    /// status sampler sees enough BadCode to kill the port.
+    host_powered_off_at: Vec<Option<SimTime>>,
+    /// [host][attachment][direction]; direction 0 = host→switch.
+    host_link_busy: Vec<[[SimTime; 2]; 2]>,
+    events: Vec<NetEvent>,
+    deliveries: Vec<DeliveryRecord>,
+    stats: NetStats,
+    /// Randomness for loss injection (seeded; deterministic).
+    rng: SimRng,
+}
+
+/// A running Autonet built from a topology.
+pub struct Network {
+    sim: Simulator<NetWorld>,
+}
+
+impl Network {
+    /// Builds a network and schedules every switch and host to boot within
+    /// the configured jitter of t = 0.
+    pub fn new(topo: Topology, params: NetParams, seed: u64) -> Self {
+        let mut rng = SimRng::new(seed);
+        let switches = topo
+            .switch_ids()
+            .map(|s| {
+                SwitchSim::new(
+                    topo.switch(s).uid,
+                    params.autopilot,
+                    s.0 as u32,
+                    SimTime::ZERO,
+                )
+            })
+            .collect();
+        let hosts = topo
+            .host_ids()
+            .map(|h| HostSim {
+                ctl: autonet_host::HostController::new(
+                    topo.host(h).uid,
+                    params.host,
+                    topo.host(h).alternate.is_some(),
+                ),
+                up: true,
+            })
+            .collect();
+        let world = NetWorld {
+            link_up: vec![true; topo.num_links()],
+            link_busy: vec![[SimTime::ZERO; 2]; topo.num_links()],
+            host_link_up: vec![[true; 2]; topo.num_hosts()],
+            host_powered_off_at: vec![None; topo.num_hosts()],
+            host_link_busy: vec![[[SimTime::ZERO; 2]; 2]; topo.num_hosts()],
+            switches,
+            hosts,
+            events: Vec::new(),
+            deliveries: Vec::new(),
+            stats: NetStats::default(),
+            rng: rng.fork(1),
+            topo,
+            params,
+        };
+        let mut sim = Simulator::new(world);
+        let jitter = sim.world().params.boot_jitter.as_nanos().max(1);
+        for s in 0..sim.world().switches.len() {
+            let at = SimTime::from_nanos(rng.below(jitter));
+            sim.schedule_at(at, Event::SwitchBoot { s });
+        }
+        for h in 0..sim.world().hosts.len() {
+            let at = SimTime::from_nanos(rng.below(jitter));
+            sim.schedule_at(at, Event::HostBoot { h });
+        }
+        Network { sim }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The static topology.
+    pub fn topology(&self) -> &Topology {
+        &self.sim.world().topo
+    }
+
+    /// The observable event log.
+    pub fn events(&self) -> &[NetEvent] {
+        &self.sim.world().events
+    }
+
+    /// Delivered data frames.
+    pub fn deliveries(&self) -> &[DeliveryRecord] {
+        &self.sim.world().deliveries
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.sim.run_for(span);
+    }
+
+    /// Runs until the control plane is stable: every up switch open, all on
+    /// one epoch with consistent topology. Returns the time of the last
+    /// open/close state change (the true completion instant), or `None` if
+    /// the deadline passed first.
+    pub fn run_until_stable(&mut self, deadline: SimTime) -> Option<SimTime> {
+        let step = SimDuration::from_millis(20);
+        while self.sim.now() < deadline {
+            self.sim.run_for(step);
+            if self.control_plane_consistent() {
+                return Some(self.sim.world().stats.last_state_change);
+            }
+        }
+        None
+    }
+}
+
+impl World for NetWorld {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<'_, Event>) {
+        match event {
+            Event::SwitchBoot { s } => self.on_switch_boot(now, s, sched),
+            Event::SwitchTick { s } => self.on_switch_tick(now, s, sched),
+            Event::SwitchSample { s } => self.on_switch_sample(now, s, sched),
+            Event::SwitchRx {
+                s,
+                port,
+                packet,
+                via,
+            } => self.on_switch_rx(now, s, port, packet, via, sched),
+            Event::SwitchCpuDone { s, port, packet } => {
+                self.on_switch_cpu_done(now, s, port, packet, sched)
+            }
+            Event::HostBoot { h } => self.on_host_boot(now, h, sched),
+            Event::HostTick { h } => self.on_host_tick(now, h, sched),
+            Event::HostRx {
+                h,
+                cport,
+                packet,
+                via,
+            } => self.on_host_rx(now, h, cport, packet, via, sched),
+            Event::HostSend { h, dst, len, tag } => self.on_host_send(now, h, dst, len, tag, sched),
+            Event::SrpRequest { s, route, payload } => {
+                self.on_srp_request(now, s, route, payload, sched)
+            }
+            Event::LinkDown { l } => self.on_link_down(now, l),
+            Event::LinkUp { l } => self.on_link_up(now, l),
+            Event::SwitchDown { s } => self.on_switch_down(now, s),
+            Event::SwitchUp { s } => self.on_switch_up(now, s, sched),
+            Event::HostPowerOff { h } => self.on_host_power_off(now, h),
+            Event::HostPowerOn { h } => self.on_host_power_on(now, h, sched),
+            Event::HostLinkDown { h, which } => self.on_host_link_down(now, h, which),
+            Event::HostLinkUp { h, which } => self.on_host_link_up(now, h, which),
+        }
+    }
+}
+
+/// Reference to ensure the route computation used here stays in sync with
+/// what Autopilot loads (compile-time use of the shared function).
+#[allow(dead_code)]
+fn _table_type_check(g: &autonet_core::GlobalTopology, uid: Uid) -> Option<ForwardingTable> {
+    compute_forwarding_table(g, uid, &[], RouteKind::UpDown)
+}

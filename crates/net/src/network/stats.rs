@@ -1,0 +1,179 @@
+//! Observability: convergence/consistency checks, the graph-theoretic
+//! reference comparison, and the merged trace log.
+
+use std::collections::BTreeMap;
+
+use autonet_core::{global_from_view, Epoch, GlobalTopology};
+use autonet_harness::NetStats;
+use autonet_sim::{TraceEntry, TraceLog};
+use autonet_topo::SwitchId;
+use autonet_wire::{PortIndex, SwitchNumber, Uid};
+
+use super::switch_node::SwitchSim;
+use super::Network;
+
+impl Network {
+    /// Aggregate counters (shared across backends; see [`NetStats`]).
+    pub fn stats(&self) -> NetStats {
+        self.sim.world().stats
+    }
+
+    /// Whether the control plane has converged to the physical truth:
+    /// every up switch is open, and within each *physical* connected
+    /// component (up switches and links) all members share one epoch and
+    /// one topology that covers exactly that component, rooted at its
+    /// smallest UID.
+    pub fn control_plane_consistent(&self) -> bool {
+        let w = self.sim.world();
+        let view = w.physical_view();
+        for component in autonet_topo::connected_components(&view) {
+            let min_uid = component
+                .iter()
+                .map(|&s| w.topo.switch(s).uid)
+                .min()
+                .expect("components are non-empty");
+            let mut first: Option<&GlobalTopology> = None;
+            for &sid in &component {
+                let sw = &w.switches[sid.0];
+                if !sw.autopilot().is_open() {
+                    return false;
+                }
+                let Some(g) = sw.autopilot().global() else {
+                    return false;
+                };
+                if g.root != min_uid || g.switches.len() != component.len() {
+                    return false;
+                }
+                match first {
+                    None => first = Some(g),
+                    Some(f) => {
+                        if g.epoch != f.epoch || g.numbers != f.numbers {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        // The agreed topology must list exactly the usable physical links:
+        // a failed link still listed means the fault is not yet absorbed; a
+        // repaired link missing means readmission is still pending. Combined
+        // with the containment check below, matching end-counts give
+        // exact equality.
+        let mut usable_ends = 0usize;
+        for lid in view.usable_links() {
+            let spec = w.topo.link(lid);
+            if view.switch_up(spec.a.switch) && view.switch_up(spec.b.switch) {
+                usable_ends += 2;
+            }
+        }
+        let mut listed_ends = 0usize;
+        for sw in w.switches.iter().filter(|s| s.up) {
+            if let Some(g) = sw.autopilot().global() {
+                if let Some(info) = g.switch(sw.autopilot().uid()) {
+                    listed_ends += info.links.len();
+                }
+            }
+        }
+        if usable_ends != listed_ends {
+            return false;
+        }
+        for lid in view.usable_links() {
+            let spec = w.topo.link(lid);
+            let a_uid = w.topo.switch(spec.a.switch).uid;
+            let b_uid = w.topo.switch(spec.b.switch).uid;
+            let listed = |sw: &SwitchSim, my_port: PortIndex, far: Uid, far_port: PortIndex| {
+                sw.autopilot().global().is_some_and(|g| {
+                    g.switch(sw.autopilot().uid()).is_some_and(|info| {
+                        info.links.iter().any(|l| {
+                            l.local_port == my_port
+                                && l.neighbor == far
+                                && l.neighbor_port == far_port
+                        })
+                    })
+                })
+            };
+            if !listed(
+                &w.switches[spec.a.switch.0],
+                spec.a.port,
+                b_uid,
+                spec.b.port,
+            ) || !listed(
+                &w.switches[spec.b.switch.0],
+                spec.b.port,
+                a_uid,
+                spec.a.port,
+            ) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Verifies the converged control plane against the graph-theoretic
+    /// reference ([`global_from_view`]): same root, same levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first discrepancy.
+    pub fn check_against_reference(&self) -> Result<(), String> {
+        let w = self.sim.world();
+        let view = w.physical_view();
+        let proposals: BTreeMap<Uid, SwitchNumber> = BTreeMap::new();
+        let Some(reference) = global_from_view(&view, Epoch(0), &proposals) else {
+            return Ok(());
+        };
+        let ref_levels = reference.levels().expect("reference is well-formed");
+        for (si, sw) in w.switches.iter().enumerate() {
+            if !sw.up {
+                continue;
+            }
+            let uid = w.topo.switch(SwitchId(si)).uid;
+            if !ref_levels.contains_key(&uid) {
+                continue; // A partition not containing the reference root.
+            }
+            let Some(g) = sw.autopilot().global() else {
+                return Err(format!("switch {si} has no topology"));
+            };
+            if g.root != reference.root {
+                return Err(format!(
+                    "switch {si}: root {} != reference {}",
+                    g.root, reference.root
+                ));
+            }
+            let levels = g
+                .levels()
+                .ok_or_else(|| format!("switch {si}: broken tree"))?;
+            if levels.get(&uid) != ref_levels.get(&uid) {
+                return Err(format!(
+                    "switch {si}: level {:?} != reference {:?}",
+                    levels.get(&uid),
+                    ref_levels.get(&uid)
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges every switch's circular trace log into one time-ordered
+    /// history — the paper's primary debugging tool (§6.7).
+    pub fn merged_trace(&self) -> Vec<TraceEntry> {
+        let logs: Vec<&TraceLog> = self
+            .sim
+            .world()
+            .switches
+            .iter()
+            .map(|s| &s.autopilot().log)
+            .collect();
+        TraceLog::merge(logs)
+    }
+
+    /// Total reconfigurations initiated across all switches.
+    pub fn total_reconfigs_triggered(&self) -> u64 {
+        self.sim
+            .world()
+            .switches
+            .iter()
+            .map(|s| s.autopilot().reconfigs_triggered())
+            .sum()
+    }
+}

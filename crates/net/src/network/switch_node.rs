@@ -1,0 +1,304 @@
+//! One switch: a [`NodeHarness`] driving its Autopilot over a
+//! packet-level [`Environment`] view.
+//!
+//! The harness owns the control program and the action translation; this
+//! module supplies the substrate view ([`PacketEnv`]) and the event
+//! handlers that decide *when* the harness entry points run.
+
+use autonet_core::{Autopilot, AutopilotParams, ControlMsg, Epoch, PortState, SrpPayload};
+use autonet_harness::{control_packet, Environment, NodeHarness};
+use autonet_sim::{Scheduler, SimTime};
+use autonet_switch::{ForwardingTable, LinkUnitStatus};
+use autonet_topo::SwitchId;
+use autonet_wire::{PacketType, PortIndex, Uid, MAX_PORTS};
+
+use super::events::{Event, NetEventKind};
+use super::{NetWorld, Network};
+
+/// One switch in the packet-level world.
+pub(super) struct SwitchSim {
+    /// The Autopilot inside its harness. Taken out while a harness entry
+    /// point runs (so the environment view can borrow the rest of the
+    /// world) and put back immediately after; `None` is never observable
+    /// from the event handlers.
+    pub(super) harness: Option<NodeHarness>,
+    pub(super) table: ForwardingTable,
+    pub(super) cpu_free: SimTime,
+    pub(super) up: bool,
+    /// Mirror of the Autopilot's dead-port verdicts, refreshed after
+    /// every harness entry point: the packet-level stand-in for the link
+    /// unit's `idhy` hook, readable by *other* switches' status synthesis
+    /// without borrowing this switch's control program.
+    pub(super) dead: [bool; MAX_PORTS],
+}
+
+impl SwitchSim {
+    pub(super) fn new(
+        uid: Uid,
+        params: AutopilotParams,
+        number_hint: u32,
+        cpu_free: SimTime,
+    ) -> Self {
+        SwitchSim {
+            harness: Some(NodeHarness::new(Autopilot::new(uid, params, number_hint))),
+            table: ForwardingTable::new(),
+            cpu_free,
+            up: true,
+            // Ports boot Dead, so their link units send idhy from reset.
+            dead: [true; MAX_PORTS],
+        }
+    }
+
+    /// The control program, for inspection.
+    pub(super) fn autopilot(&self) -> &Autopilot {
+        self.harness.as_ref().expect("harness in place").autopilot()
+    }
+
+    /// The control program, mutably (SRP reply draining).
+    pub(super) fn autopilot_mut(&mut self) -> &mut Autopilot {
+        self.harness
+            .as_mut()
+            .expect("harness in place")
+            .autopilot_mut()
+    }
+}
+
+/// The per-event [`Environment`] for switch `s`: the whole world (with
+/// `s`'s own harness temporarily removed) plus the event scheduler.
+struct PacketEnv<'a, 'b> {
+    w: &'a mut NetWorld,
+    sched: &'a mut Scheduler<'b, Event>,
+    s: usize,
+}
+
+impl Environment for PacketEnv<'_, '_> {
+    fn send(&mut self, now: SimTime, port: PortIndex, msg: &ControlMsg) {
+        let packet = control_packet(port, msg);
+        self.w.stats.control_sent += 1;
+        self.w
+            .transmit_from_switch(now, self.s, port, packet, self.sched);
+    }
+
+    fn load_table(&mut self, _now: SimTime, table: ForwardingTable) {
+        self.w.switches[self.s].table = table;
+    }
+
+    fn read_status(&mut self, now: SimTime, port: PortIndex) -> Option<LinkUnitStatus> {
+        self.w.synthesize_status(now, self.s, port)
+    }
+
+    fn set_port_dead(&mut self, port: PortIndex, dead: bool) {
+        self.w.switches[self.s].dead[port as usize] = dead;
+    }
+
+    fn network_opened(&mut self, now: SimTime, epoch: Epoch) {
+        self.w.stats.note_open(now);
+        self.w
+            .log_event(now, NetEventKind::SwitchOpened(SwitchId(self.s), epoch));
+    }
+
+    fn network_closed(&mut self, now: SimTime) {
+        self.w.stats.note_close(now);
+        self.w
+            .log_event(now, NetEventKind::SwitchClosed(SwitchId(self.s)));
+    }
+}
+
+impl NetWorld {
+    /// Runs one harness entry point for switch `s`, then refreshes the
+    /// dead-port mirror from the Autopilot's verdicts (port states only
+    /// change inside entry points, so other switches reading the mirror
+    /// see exactly the live state).
+    fn with_harness<R>(
+        &mut self,
+        s: usize,
+        sched: &mut Scheduler<'_, Event>,
+        f: impl FnOnce(&mut NodeHarness, &mut PacketEnv<'_, '_>) -> R,
+    ) -> R {
+        let mut h = self.switches[s].harness.take().expect("harness re-entered");
+        let mut env = PacketEnv {
+            w: &mut *self,
+            sched,
+            s,
+        };
+        let r = f(&mut h, &mut env);
+        let sw = &mut self.switches[s];
+        for (port, dead) in sw.dead.iter_mut().enumerate() {
+            *dead = h.autopilot().port_state(port as PortIndex) == PortState::Dead;
+        }
+        sw.harness = Some(h);
+        r
+    }
+
+    pub(super) fn on_switch_boot(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.switches[s].up {
+            return;
+        }
+        self.with_harness(s, sched, |h, env| h.boot(now, env));
+        let h = self.switches[s].harness.as_ref().expect("harness in place");
+        let (tick, sample) = (h.next_tick(), h.next_sample());
+        sched.at(tick, Event::SwitchTick { s });
+        sched.at(sample, Event::SwitchSample { s });
+    }
+
+    pub(super) fn on_switch_tick(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.switches[s].up {
+            return;
+        }
+        self.with_harness(s, sched, |h, env| h.tick(now, env));
+        let next = self.switches[s]
+            .harness
+            .as_ref()
+            .expect("harness in place")
+            .next_tick();
+        sched.at(next, Event::SwitchTick { s });
+    }
+
+    pub(super) fn on_switch_sample(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.switches[s].up {
+            return;
+        }
+        self.with_harness(s, sched, |h, env| h.sample(now, env));
+        let next = self.switches[s]
+            .harness
+            .as_ref()
+            .expect("harness in place")
+            .next_sample();
+        sched.at(next, Event::SwitchSample { s });
+    }
+
+    pub(super) fn on_switch_rx(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        port: PortIndex,
+        packet: autonet_wire::Packet,
+        via: super::events::Via,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.switches[s].up || !self.via_intact(via) {
+            self.stats.lost_in_flight += 1;
+            return;
+        }
+        if packet.ptype != PacketType::Data
+            && self.params.control_loss_rate > 0.0
+            && self.rng.chance(self.params.control_loss_rate)
+        {
+            // A marginal link corrupted the packet; the CRC check on the
+            // control processor rejects it.
+            self.stats.lost_in_flight += 1;
+            return;
+        }
+        match packet.ptype {
+            PacketType::Data => self.forward_data(now, s, port, packet, sched),
+            PacketType::HostSwitch
+                if self.switches[s].autopilot().port_state(port) != PortState::Host =>
+            {
+                // A host's service packet (addressed 0000) reaches the
+                // control processor only via the forwarding entry
+                // installed when the port is classified s.host; before
+                // that it is discarded like any host traffic.
+                self.stats.data_discarded += 1;
+            }
+            _ => {
+                // Control packet: charge the control processor. The real
+                // 68000 had a finite receive-buffer pool; model it as a
+                // bounded backlog — overload drops packets, and the
+                // protocols recover by retransmission.
+                let cost = self.params.cpu.cost(packet.payload.len());
+                let backlog = self.switches[s].cpu_free.saturating_since(now);
+                if backlog > self.params.cpu_backlog_cap {
+                    self.stats.cpu_queue_drops += 1;
+                    return;
+                }
+                let start = self.switches[s].cpu_free.max(now);
+                self.switches[s].cpu_free = start + cost;
+                sched.at(start + cost, Event::SwitchCpuDone { s, port, packet });
+            }
+        }
+    }
+
+    pub(super) fn on_switch_cpu_done(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        port: PortIndex,
+        packet: autonet_wire::Packet,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.switches[s].up {
+            return;
+        }
+        if let Ok(msg) = ControlMsg::decode(&packet.payload) {
+            self.with_harness(s, sched, |h, env| h.deliver(now, port, &msg, env));
+        }
+    }
+
+    pub(super) fn on_srp_request(
+        &mut self,
+        now: SimTime,
+        s: usize,
+        route: Vec<PortIndex>,
+        payload: SrpPayload,
+        sched: &mut Scheduler<'_, Event>,
+    ) {
+        if !self.switches[s].up {
+            return;
+        }
+        self.with_harness(s, sched, |h, env| h.srp_request(now, route, payload, env));
+    }
+}
+
+impl Network {
+    /// A switch's control program, for inspection.
+    pub fn autopilot(&self, s: SwitchId) -> &Autopilot {
+        self.sim.world().switches[s.0].autopilot()
+    }
+
+    /// A switch's currently loaded forwarding table.
+    pub fn forwarding_table(&self, s: SwitchId) -> &ForwardingTable {
+        &self.sim.world().switches[s.0].table
+    }
+
+    /// Schedules a source-routed (SRP, §6.7) request originating at a
+    /// switch's control processor. Collect answers with
+    /// [`take_srp_replies`](Network::take_srp_replies).
+    pub fn schedule_srp(
+        &mut self,
+        at: SimTime,
+        from: SwitchId,
+        route: Vec<PortIndex>,
+        payload: SrpPayload,
+    ) {
+        self.sim.schedule_at(
+            at,
+            Event::SrpRequest {
+                s: from.0,
+                route,
+                payload,
+            },
+        );
+    }
+
+    /// Drains the SRP answers received by a switch's control processor.
+    pub fn take_srp_replies(&mut self, s: SwitchId) -> Vec<SrpPayload> {
+        self.sim.world_mut().switches[s.0]
+            .autopilot_mut()
+            .srp_replies()
+    }
+}

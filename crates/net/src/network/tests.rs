@@ -1,0 +1,150 @@
+use autonet_sim::{SimDuration, SimTime};
+use autonet_topo::{gen, HostId, LinkId, SwitchId, Topology};
+
+use super::Network;
+use crate::params::NetParams;
+
+fn stable_net(topo: Topology, seed: u64) -> Network {
+    let mut net = Network::new(topo, NetParams::tuned(), seed);
+    let done = net.run_until_stable(SimTime::from_secs(30));
+    assert!(done.is_some(), "network failed to converge");
+    net
+}
+
+#[test]
+fn line_converges_and_matches_reference() {
+    let net = stable_net(gen::line(4, 42), 1);
+    net.check_against_reference().expect("reference match");
+}
+
+#[test]
+fn torus_converges() {
+    let net = stable_net(gen::torus(4, 4, 7), 2);
+    net.check_against_reference().expect("reference match");
+    // Every switch has 4 good ports on a 4x4 torus.
+    for s in net.topology().switch_ids() {
+        assert_eq!(net.autopilot(s).good_ports().len(), 4);
+    }
+}
+
+#[test]
+fn hosts_learn_addresses_and_exchange_data() {
+    let mut topo = gen::line(2, 0);
+    gen::add_dual_homed_hosts(&mut topo, 1, 3);
+    let mut net = stable_net(topo, 3);
+    let h0 = HostId(0);
+    let h1 = HostId(1);
+    // Hosts poll the switch for addresses on their own (slower)
+    // cadence; give them a few liveness rounds.
+    net.run_for(SimDuration::from_secs(3));
+    assert!(net.host(h0).short_address().is_some());
+    assert!(net.host(h1).short_address().is_some());
+    let dst = net.topology().host(h1).uid;
+    let t0 = net.now();
+    net.schedule_host_send(t0 + SimDuration::from_millis(10), h0, dst, 256, 99);
+    net.run_for(SimDuration::from_secs(1));
+    let d: Vec<_> = net.deliveries().iter().filter(|d| d.tag == 99).collect();
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].host, h1);
+}
+
+#[test]
+fn link_failure_triggers_reconfiguration_and_reroutes() {
+    let mut topo = gen::ring(4, 5);
+    gen::add_dual_homed_hosts(&mut topo, 1, 9);
+    let mut net = stable_net(topo, 4);
+    let epoch_before = net.autopilot(SwitchId(0)).epoch();
+    // Fail one ring link; the ring still connects everything.
+    let t = net.now() + SimDuration::from_millis(50);
+    net.schedule_link_down(t, LinkId(0));
+    net.run_for(SimDuration::from_millis(100)); // Let the fault land.
+    let done = net.run_until_stable(net.now() + SimDuration::from_secs(30));
+    assert!(done.is_some(), "must reconverge after link failure");
+    assert!(net.autopilot(SwitchId(0)).epoch() > epoch_before);
+    net.check_against_reference()
+        .expect("reference match after failure");
+    // Data still flows between hosts on opposite sides.
+    let h0 = HostId(0);
+    let h2 = HostId(2);
+    let dst = net.topology().host(h2).uid;
+    let sent_at = net.now() + SimDuration::from_millis(10);
+    net.schedule_host_send(sent_at, h0, dst, 128, 7);
+    net.run_for(SimDuration::from_secs(1));
+    assert!(net.deliveries().iter().any(|d| d.tag == 7 && d.host == h2));
+}
+
+#[test]
+fn partition_forms_two_networks() {
+    // A line cut in the middle partitions into two halves, each of
+    // which must configure itself.
+    let topo = gen::line(4, 0);
+    let mut net = stable_net(topo, 5);
+    let cut = LinkId(1); // Between switches 1 and 2.
+    let t = net.now() + SimDuration::from_millis(50);
+    net.schedule_link_down(t, cut);
+    net.run_for(SimDuration::from_millis(100));
+    let done = net.run_until_stable(net.now() + SimDuration::from_secs(30));
+    assert!(done.is_some(), "both partitions must stabilize");
+    let g0 = net.autopilot(SwitchId(0)).global().unwrap();
+    let g3 = net.autopilot(SwitchId(3)).global().unwrap();
+    assert_eq!(g0.switches.len(), 2);
+    assert_eq!(g3.switches.len(), 2);
+    assert_ne!(g0.root, g3.root);
+    // Healing merges them again.
+    let t2 = net.now() + SimDuration::from_millis(50);
+    net.schedule_link_up(t2, cut);
+    net.run_for(SimDuration::from_millis(100));
+    let done = net.run_until_stable(net.now() + SimDuration::from_secs(30));
+    assert!(done.is_some(), "healed network must stabilize");
+    assert_eq!(
+        net.autopilot(SwitchId(0)).global().unwrap().switches.len(),
+        4
+    );
+}
+
+#[test]
+fn switch_crash_and_reboot() {
+    let topo = gen::ring(4, 11);
+    let mut net = stable_net(topo, 6);
+    let victim = SwitchId(2);
+    let t = net.now() + SimDuration::from_millis(50);
+    net.schedule_switch_down(t, victim);
+    net.run_for(SimDuration::from_millis(100));
+    let done = net.run_until_stable(net.now() + SimDuration::from_secs(30));
+    assert!(done.is_some());
+    let g = net.autopilot(SwitchId(0)).global().unwrap();
+    assert_eq!(
+        g.switches.len(),
+        3,
+        "survivors configure without the victim"
+    );
+    // Power it back on.
+    let t2 = net.now() + SimDuration::from_millis(50);
+    net.schedule_switch_up(t2, victim);
+    net.run_for(SimDuration::from_millis(100));
+    let done = net.run_until_stable(net.now() + SimDuration::from_secs(60));
+    assert!(done.is_some());
+    assert_eq!(
+        net.autopilot(SwitchId(0)).global().unwrap().switches.len(),
+        4
+    );
+}
+
+#[test]
+fn broadcast_reaches_all_hosts() {
+    let mut topo = gen::line(3, 0);
+    gen::add_dual_homed_hosts(&mut topo, 1, 13);
+    let mut net = stable_net(topo, 7);
+    let t = net.now() + SimDuration::from_millis(10);
+    net.schedule_host_send(t, HostId(0), autonet_host::BROADCAST_UID, 64, 55);
+    net.run_for(SimDuration::from_secs(1));
+    let receivers: std::collections::BTreeSet<HostId> = net
+        .deliveries()
+        .iter()
+        .filter(|d| d.tag == 55)
+        .map(|d| d.host)
+        .collect();
+    // Flooding reaches every host port exactly once each, including
+    // the sender's own.
+    assert_eq!(receivers.len(), 3, "{receivers:?}");
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# The local gate: exactly what CI runs. Operates on the workspace
+# default-members (crates/bench is excluded so the check needs no
+# criterion fetch; run `cargo bench` explicitly for experiments).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q
+
+echo "OK"

@@ -1,0 +1,114 @@
+//! Conformance between the two simulation backends.
+//!
+//! The same Autopilot — inside the same `autonet_harness::NodeHarness` —
+//! runs over two very different `Environment` implementations: the
+//! packet-level transport of [`Network`] (synthesized status bits,
+//! abstract links) and the slot-accurate datapath of [`SlotNet`] (real
+//! symbols, real FIFOs, status bits latched by link units). If the
+//! harness layer is faithful, the control plane must reach the same
+//! conclusions about what the network *is* on both: identical
+//! classifications for every cabled port, and the same final epoch.
+//!
+//! Uncabled ports are the one place the substrates legitimately differ:
+//! the packet-level model simulates §5.3 reflection (the port hears its
+//! own probes and classifies the loop), while the slot-level datapath
+//! models silence (the port never leaves Checking). Both keep such ports
+//! out of service, which is what the protocol requires.
+
+use autonet::autopilot::PortState;
+use autonet::net::{CpuModel, NetParams, Network, SlotNet};
+use autonet::sim::{SimDuration, SimTime};
+use autonet::topo::{HostId, LinkId, PortUse, SwitchId, Topology};
+use autonet::wire::{LinkTiming, PortIndex, Uid, MAX_PORTS};
+
+/// Two switches joined by one trunk, a single-homed host on each — small
+/// enough for the slot-level model, rich enough to exercise the trunk and
+/// host classifications on both backends.
+fn small_topo() -> Topology {
+    let mut t = Topology::new();
+    let a = t.add_switch(Uid::new(1)).unwrap();
+    let b = t.add_switch(Uid::new(2)).unwrap();
+    t.connect(a, b, LinkTiming::coax_100m()).unwrap();
+    t.attach_host(Uid::new(100), a, None).unwrap();
+    t.attach_host(Uid::new(200), b, None).unwrap();
+    t
+}
+
+#[test]
+fn packet_and_slot_environments_agree() {
+    let params = SlotNet::fast_params();
+
+    let mut slot = SlotNet::new(&small_topo(), params);
+    slot.boot();
+    assert!(
+        slot.run_until_converged(2, 4_000_000),
+        "slot-level bring-up failed (t = {})",
+        slot.now()
+    );
+
+    // Same protocol constants for the packet-level run; no boot jitter
+    // (the slot-level backend boots everything at t = 0 too) and a
+    // control processor scaled to the ~50×-faster protocol cadences, as
+    // the slot model's CP also keeps up with them.
+    let net_params = NetParams {
+        autopilot: params,
+        boot_jitter: SimDuration::ZERO,
+        cpu: CpuModel {
+            per_packet: SimDuration::from_micros(5),
+            per_byte: SimDuration::from_nanos(50),
+        },
+        ..NetParams::tuned()
+    };
+    let mut pkt = Network::new(small_topo(), net_params, 1);
+    assert!(
+        pkt.run_until_stable(SimTime::from_secs(10)).is_some(),
+        "packet-level bring-up failed"
+    );
+
+    let topo = small_topo();
+    for s in [SwitchId(0), SwitchId(1)] {
+        assert_eq!(
+            pkt.autopilot(s).epoch(),
+            slot.autopilot(s).epoch(),
+            "final epoch at switch {}",
+            s.0
+        );
+        for port in 1..MAX_PORTS as PortIndex {
+            let cabled = !matches!(topo.port_use(s, port), PortUse::Free);
+            let p = pkt.autopilot(s).port_state(port);
+            let l = slot.autopilot(s).port_state(port);
+            if cabled {
+                assert_eq!(p, l, "switch {} port {port}", s.0);
+            } else {
+                // Substrates model uncabled ports differently, but both
+                // must hold them out of service.
+                for (backend, state) in [("packet", p), ("slot", l)] {
+                    assert!(
+                        state != PortState::SwitchGood && state != PortState::Host,
+                        "{backend}: switch {} uncabled port {port} in service as {state:?}",
+                        s.0
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            pkt.autopilot(s).good_ports(),
+            slot.autopilot(s).good_ports(),
+            "in-service port sets at switch {}",
+            s.0
+        );
+    }
+
+    // Sanity: the agreement is about a configured network, not two
+    // networks that agree on knowing nothing.
+    let link_port = topo.link(LinkId(0)).a.port;
+    assert_eq!(
+        pkt.autopilot(SwitchId(0)).port_state(link_port),
+        PortState::SwitchGood
+    );
+    let host_port = topo.host(HostId(0)).primary.port;
+    assert_eq!(
+        pkt.autopilot(SwitchId(0)).port_state(host_port),
+        PortState::Host
+    );
+}
