@@ -1,0 +1,209 @@
+//! The deterministic campaign runner.
+//!
+//! The engine turns a declarative [`Scenario`] into a simulation run:
+//! bring the network up and wait for first quiescence, then walk the
+//! fault schedule, advancing virtual time in small chunks and — after
+//! every chunk — draining the backend's control-plane observation log
+//! through the online oracles. A firing oracle stops the run immediately
+//! with the violation; the caller (usually a test) hands the scenario to
+//! the shrinker and prints a minimal reproducer.
+
+use autonet_core::AutopilotParams;
+use autonet_net::{NetParams, Network};
+use autonet_sim::{SimDuration, SimTime};
+use autonet_topo::{LinkId, NetView, SwitchId, Topology};
+
+use crate::oracle::{OracleConfig, OracleState, Violation};
+use crate::scenario::{FaultOp, Scenario};
+use crate::substrate::{PacketSubstrate, SlotSubstrate, Substrate};
+
+/// What a campaign run produced.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// The first oracle firing, if any.
+    pub violation: Option<Violation>,
+    /// Virtual time when the run ended.
+    pub end: SimTime,
+    /// How many quiescence points were reached (initial bring-up,
+    /// waypoints, final settle).
+    pub quiescences: u32,
+}
+
+impl CheckOutcome {
+    /// Whether the campaign passed every oracle.
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Mirrors a fault op into the engine's view of intended physical state.
+fn mirror(view: &mut NetView<'_>, topo: &Topology, op: &FaultOp) {
+    let crossing: Vec<LinkId> = match op {
+        FaultOp::Partition { side } | FaultOp::Heal { side } => topo
+            .link_ids()
+            .filter(|&l| {
+                let spec = topo.link(l);
+                let inside = |s: SwitchId| side.contains(&s.0);
+                !spec.is_loopback() && inside(spec.a.switch) != inside(spec.b.switch)
+            })
+            .collect(),
+        _ => Vec::new(),
+    };
+    match op {
+        FaultOp::LinkDown(l) => view.fail_link(LinkId(*l)),
+        FaultOp::LinkUp(l) => view.repair_link(LinkId(*l)),
+        FaultOp::SwitchDown(s) => view.fail_switch(SwitchId(*s)),
+        FaultOp::SwitchUp(s) => view.repair_switch(SwitchId(*s)),
+        // A completed flap sequence leaves the link up.
+        FaultOp::LinkFlaps { link, .. } => view.repair_link(LinkId(*link)),
+        FaultOp::Partition { .. } => crossing.iter().for_each(|&l| view.fail_link(l)),
+        FaultOp::Heal { .. } => crossing.iter().for_each(|&l| view.repair_link(l)),
+        FaultOp::HostPowerOff(_) | FaultOp::HostPowerOn(_) | FaultOp::Waypoint { .. } => {}
+    }
+}
+
+/// Runs a prepared substrate through a scenario. Shared by both backends
+/// (and by any future one).
+pub fn run_scenario<S: Substrate>(
+    scenario: &Scenario,
+    sub: &mut S,
+    topo: &Topology,
+    cfg: &OracleConfig,
+) -> CheckOutcome {
+    let mut oracle = OracleState::new(topo, cfg.clone());
+    let mut view = topo.view_all();
+    let mut quiescences = 0u32;
+    let step = SimDuration::from_millis(cfg.step_ms.max(1));
+
+    // Advances `span`, draining the observation log through the oracles
+    // after every chunk.
+    fn advance<S: Substrate>(
+        sub: &mut S,
+        topo: &Topology,
+        oracle: &mut OracleState,
+        span: SimDuration,
+        step: SimDuration,
+    ) -> Option<Violation> {
+        let mut left = span;
+        while left > SimDuration::ZERO {
+            let chunk = step.min(left);
+            sub.run_for(chunk);
+            left -= chunk;
+            let records = sub.drain_control();
+            if let Some(v) = oracle.ingest(topo, &records) {
+                return Some(v);
+            }
+            let obs = sub.observe_ports(topo);
+            if let Some(v) = oracle.observe_ports(sub.now(), &obs) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // Runs until the substrate reports quiescence, oracles firing along
+    // the way; `None` on success, the violation (possibly SettleTimeout)
+    // otherwise.
+    fn settle<S: Substrate>(
+        sub: &mut S,
+        topo: &Topology,
+        oracle: &mut OracleState,
+        view: &NetView<'_>,
+        budget_ms: u64,
+        step: SimDuration,
+    ) -> Result<(), Violation> {
+        let deadline = sub.now() + SimDuration::from_millis(budget_ms);
+        while sub.now() < deadline {
+            if let Some(v) = advance(sub, topo, oracle, step, step) {
+                return Err(v);
+            }
+            if sub.quiescent(view) {
+                return Ok(());
+            }
+        }
+        Err(Violation::SettleTimeout {
+            at: sub.now(),
+            budget_ms,
+        })
+    }
+
+    let outcome = |violation: Option<Violation>, sub: &S, quiescences: u32| CheckOutcome {
+        violation,
+        end: sub.now(),
+        quiescences,
+    };
+
+    // Initial bring-up to first quiescence; the skeptic oracle arms here.
+    if let Err(v) = settle(sub, topo, &mut oracle, &view, cfg.bringup_budget_ms, step) {
+        return outcome(Some(v), sub, quiescences);
+    }
+    quiescences += 1;
+    let snaps = sub.snapshots(topo);
+    if let Some(v) = oracle.at_quiescence(sub.now(), &view, &snaps) {
+        return outcome(Some(v), sub, quiescences);
+    }
+    let origin = sub.now();
+
+    let mut events = scenario.events.clone();
+    events.sort_by_key(|e| e.at_ms);
+    for event in &events {
+        let due = origin + SimDuration::from_millis(event.at_ms);
+        if due > sub.now() {
+            if let Some(v) = advance(sub, topo, &mut oracle, due - sub.now(), step) {
+                return outcome(Some(v), sub, quiescences);
+            }
+        }
+        if let FaultOp::Waypoint { settle_ms } = event.op {
+            match settle(sub, topo, &mut oracle, &view, settle_ms, step) {
+                Err(v) => return outcome(Some(v), sub, quiescences),
+                Ok(()) => {
+                    quiescences += 1;
+                    let snaps = sub.snapshots(topo);
+                    if let Some(v) = oracle.at_quiescence(sub.now(), &view, &snaps) {
+                        return outcome(Some(v), sub, quiescences);
+                    }
+                }
+            }
+        } else {
+            sub.apply(&event.op, topo);
+            mirror(&mut view, topo, &event.op);
+            oracle.on_fault(&event.op);
+        }
+    }
+
+    // Final settle: the reconfiguration-termination liveness bound.
+    match settle(sub, topo, &mut oracle, &view, scenario.settle_ms, step) {
+        Err(v) => return outcome(Some(v), sub, quiescences),
+        Ok(()) => {
+            quiescences += 1;
+            let snaps = sub.snapshots(topo);
+            if let Some(v) = oracle.at_quiescence(sub.now(), &view, &snaps) {
+                return outcome(Some(v), sub, quiescences);
+            }
+        }
+    }
+    if let Err(detail) = sub.final_audit() {
+        let time = sub.now();
+        return outcome(
+            Some(Violation::ReferenceMismatch { detail, time }),
+            sub,
+            quiescences,
+        );
+    }
+    outcome(None, sub, quiescences)
+}
+
+/// Runs a scenario on the packet-level backend.
+pub fn run_packet(scenario: &Scenario, params: &NetParams, cfg: &OracleConfig) -> CheckOutcome {
+    let topo = scenario.topo.build();
+    let mut sub = PacketSubstrate::new(Network::new(topo.clone(), *params, scenario.seed));
+    run_scenario(scenario, &mut sub, &topo, cfg)
+}
+
+/// Runs a scenario on the slot-level backend (link faults only; see
+/// [`SlotSubstrate`]).
+pub fn run_slot(scenario: &Scenario, params: AutopilotParams, cfg: &OracleConfig) -> CheckOutcome {
+    let topo = scenario.topo.build();
+    let mut sub = SlotSubstrate::new(&topo, params, scenario.seed);
+    run_scenario(scenario, &mut sub, &topo, cfg)
+}

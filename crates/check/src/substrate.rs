@@ -1,0 +1,346 @@
+//! One engine, two simulation backends.
+//!
+//! The scenario engine needs five things from a network: advance virtual
+//! time, apply a fault, drain the control-plane observation log, sample
+//! the switches' externally visible state, and answer "has the control
+//! plane settled?". [`Substrate`] is that contract; [`PacketSubstrate`]
+//! implements it over the packet-level `Network` (full fault vocabulary)
+//! and [`SlotSubstrate`] over the slot-level `SlotNet`, where cable
+//! faults are emulated the way the real hardware would see them: heavy
+//! code-violation noise on both ends of the link until the samplers
+//! condemn it, silence to let the skeptics readmit it.
+
+use autonet_core::{AutopilotParams, Epoch, PortState};
+use autonet_harness::ControlRecord;
+use autonet_net::{Network, SlotNet};
+use autonet_sim::{SimDuration, SimTime};
+use autonet_topo::{HostId, LinkId, NetView, SwitchId, Topology};
+use autonet_wire::{PortIndex, Uid, SLOT_NS};
+
+use crate::scenario::FaultOp;
+
+/// One switch's externally visible control-plane state.
+#[derive(Clone, Debug)]
+pub struct NodeSnapshot {
+    /// Switch index in the topology.
+    pub node: usize,
+    /// Open for host traffic.
+    pub open: bool,
+    /// Current epoch.
+    pub epoch: Epoch,
+    /// Root of the agreed topology, if any.
+    pub root: Option<Uid>,
+    /// Number of switches in the agreed topology, if any.
+    pub topo_size: Option<usize>,
+}
+
+/// One sampled port classification.
+#[derive(Clone, Copy, Debug)]
+pub struct PortObservation {
+    /// Switch index.
+    pub node: usize,
+    /// Port number.
+    pub port: PortIndex,
+    /// The Autopilot's current classification.
+    pub state: PortState,
+}
+
+/// The backend contract the scenario engine runs against.
+pub trait Substrate {
+    /// Current virtual time.
+    fn now(&self) -> SimTime;
+    /// Advances virtual time by `span`.
+    fn run_for(&mut self, span: SimDuration);
+    /// Applies (or schedules, at the current instant) a fault operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend cannot express the operation; campaigns must
+    /// be authored against the backend's vocabulary.
+    fn apply(&mut self, op: &FaultOp, topo: &Topology);
+    /// Drains the control-plane observations since the last drain.
+    fn drain_control(&mut self) -> Vec<ControlRecord>;
+    /// Samples every switch's control-plane state.
+    fn snapshots(&self, topo: &Topology) -> Vec<NodeSnapshot>;
+    /// Samples the classification of every cabled trunk port.
+    fn observe_ports(&self, topo: &Topology) -> Vec<PortObservation>;
+    /// Whether the control plane has settled, given the engine's mirror
+    /// of the intended physical state.
+    fn quiescent(&self, view: &NetView<'_>) -> bool;
+    /// A final consistency audit at campaign end (backend-specific;
+    /// returns a discrepancy description on failure).
+    fn final_audit(&self) -> Result<(), String>;
+}
+
+/// Links with exactly one end inside `side`.
+fn crossing_links(topo: &Topology, side: &[usize]) -> Vec<LinkId> {
+    let inside = |s: SwitchId| side.contains(&s.0);
+    topo.link_ids()
+        .filter(|&l| {
+            let spec = topo.link(l);
+            !spec.is_loopback() && inside(spec.a.switch) != inside(spec.b.switch)
+        })
+        .collect()
+}
+
+/// The packet-level backend.
+pub struct PacketSubstrate {
+    net: Network,
+}
+
+impl PacketSubstrate {
+    /// Wraps a freshly built network.
+    pub fn new(net: Network) -> Self {
+        PacketSubstrate { net }
+    }
+
+    /// The wrapped network, for backend-specific assertions.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+}
+
+impl Substrate for PacketSubstrate {
+    fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    fn run_for(&mut self, span: SimDuration) {
+        self.net.run_for(span);
+    }
+
+    fn apply(&mut self, op: &FaultOp, topo: &Topology) {
+        let at = self.net.now();
+        match op {
+            FaultOp::LinkDown(l) => self.net.schedule_link_down(at, LinkId(*l)),
+            FaultOp::LinkUp(l) => self.net.schedule_link_up(at, LinkId(*l)),
+            FaultOp::SwitchDown(s) => self.net.schedule_switch_down(at, SwitchId(*s)),
+            FaultOp::SwitchUp(s) => self.net.schedule_switch_up(at, SwitchId(*s)),
+            FaultOp::HostPowerOff(h) | FaultOp::HostPowerOn(h) => {
+                assert!(
+                    *h < topo.num_hosts(),
+                    "scenario addresses host {h} but the topology has {}",
+                    topo.num_hosts()
+                );
+                if matches!(op, FaultOp::HostPowerOff(_)) {
+                    self.net.schedule_host_power_off(at, HostId(*h));
+                } else {
+                    self.net.schedule_host_power_on(at, HostId(*h));
+                }
+            }
+            FaultOp::LinkFlaps {
+                link,
+                half_period_ms,
+                cycles,
+            } => self.net.schedule_link_flaps(
+                at,
+                LinkId(*link),
+                SimDuration::from_millis(*half_period_ms),
+                *cycles,
+            ),
+            FaultOp::Partition { side } => {
+                for l in crossing_links(topo, side) {
+                    self.net.schedule_link_down(at, l);
+                }
+            }
+            FaultOp::Heal { side } => {
+                for l in crossing_links(topo, side) {
+                    self.net.schedule_link_up(at, l);
+                }
+            }
+            FaultOp::Waypoint { .. } => {}
+        }
+    }
+
+    fn drain_control(&mut self) -> Vec<ControlRecord> {
+        self.net.drain_control_records()
+    }
+
+    fn snapshots(&self, topo: &Topology) -> Vec<NodeSnapshot> {
+        topo.switch_ids()
+            .map(|s| {
+                let a = self.net.autopilot(s);
+                NodeSnapshot {
+                    node: s.0,
+                    open: a.is_open(),
+                    epoch: a.epoch(),
+                    root: a.global().map(|g| g.root),
+                    topo_size: a.global().map(|g| g.switches.len()),
+                }
+            })
+            .collect()
+    }
+
+    fn observe_ports(&self, topo: &Topology) -> Vec<PortObservation> {
+        let mut obs = Vec::new();
+        for s in topo.switch_ids() {
+            let a = self.net.autopilot(s);
+            for (port, l) in topo.links_at(s) {
+                if topo.link(l).is_loopback() {
+                    continue;
+                }
+                obs.push(PortObservation {
+                    node: s.0,
+                    port,
+                    state: a.port_state(port),
+                });
+            }
+        }
+        obs
+    }
+
+    fn quiescent(&self, view: &NetView<'_>) -> bool {
+        // The mirror records where the physical state *ends up*; mid-flap
+        // the backend's truth differs (a flapping link is transiently
+        // down, which can partition the network into components that are
+        // each internally consistent). Quiescence means the backend has
+        // settled on the *intended* physical state, so both must agree
+        // before the consistency verdict counts.
+        let topo = view.topology();
+        let switches_match = topo
+            .switch_ids()
+            .all(|s| self.net.switch_is_up(s) == view.switch_up(s));
+        // `link_usable` folds in endpoint switch state, so raw cable state
+        // is only comparable where both ends are up (and never loopback).
+        let links_match = topo.link_ids().all(|l| {
+            let spec = topo.link(l);
+            spec.is_loopback()
+                || !view.switch_up(spec.a.switch)
+                || !view.switch_up(spec.b.switch)
+                || self.net.link_is_up(l) == view.link_usable(l)
+        });
+        switches_match && links_match && self.net.control_plane_consistent()
+    }
+
+    fn final_audit(&self) -> Result<(), String> {
+        self.net.check_against_reference()
+    }
+}
+
+/// Noise rate that reliably condemns a port within a few sampling
+/// windows (matches the slot-level noise experiment).
+const KILL_NOISE_PPM: u32 = 20_000;
+
+/// The slot-level backend. Only link faults are supported, emulated with
+/// line noise on both ends; campaigns for this substrate must keep the
+/// switch set fixed.
+pub struct SlotSubstrate {
+    net: SlotNet,
+    noise_seed: u64,
+}
+
+impl SlotSubstrate {
+    /// Builds the slot-level network and boots every switch.
+    pub fn new(topo: &Topology, params: AutopilotParams, noise_seed: u64) -> Self {
+        let mut net = SlotNet::new(topo, params);
+        net.boot();
+        SlotSubstrate { net, noise_seed }
+    }
+
+    /// The wrapped network, for backend-specific assertions.
+    pub fn slotnet(&self) -> &SlotNet {
+        &self.net
+    }
+}
+
+impl Substrate for SlotSubstrate {
+    fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    fn run_for(&mut self, span: SimDuration) {
+        self.net.run_slots((span.as_nanos() / SLOT_NS).max(1));
+    }
+
+    fn apply(&mut self, op: &FaultOp, topo: &Topology) {
+        match op {
+            FaultOp::LinkDown(l) => {
+                let spec = topo.link(LinkId(*l));
+                self.net
+                    .inject_noise(spec.a.switch, spec.a.port, KILL_NOISE_PPM, self.noise_seed);
+                self.net.inject_noise(
+                    spec.b.switch,
+                    spec.b.port,
+                    KILL_NOISE_PPM,
+                    self.noise_seed ^ 1,
+                );
+            }
+            FaultOp::LinkUp(l) => {
+                let spec = topo.link(LinkId(*l));
+                self.net
+                    .inject_noise(spec.a.switch, spec.a.port, 0, self.noise_seed);
+                self.net
+                    .inject_noise(spec.b.switch, spec.b.port, 0, self.noise_seed);
+            }
+            FaultOp::Waypoint { .. } => {}
+            other => panic!("slot substrate cannot express {other:?}"),
+        }
+    }
+
+    fn drain_control(&mut self) -> Vec<ControlRecord> {
+        self.net.drain_control_records()
+    }
+
+    fn snapshots(&self, topo: &Topology) -> Vec<NodeSnapshot> {
+        topo.switch_ids()
+            .map(|s| {
+                let a = self.net.autopilot(s);
+                NodeSnapshot {
+                    node: s.0,
+                    open: a.is_open(),
+                    epoch: a.epoch(),
+                    root: a.global().map(|g| g.root),
+                    topo_size: a.global().map(|g| g.switches.len()),
+                }
+            })
+            .collect()
+    }
+
+    fn observe_ports(&self, topo: &Topology) -> Vec<PortObservation> {
+        let mut obs = Vec::new();
+        for s in topo.switch_ids() {
+            let a = self.net.autopilot(s);
+            for (port, l) in topo.links_at(s) {
+                if topo.link(l).is_loopback() {
+                    continue;
+                }
+                obs.push(PortObservation {
+                    node: s.0,
+                    port,
+                    state: a.port_state(port),
+                });
+            }
+        }
+        obs
+    }
+
+    fn quiescent(&self, view: &NetView<'_>) -> bool {
+        let topo = view.topology();
+        let n = topo.num_switches();
+        if !self.net.is_converged(n) {
+            return false;
+        }
+        // The agreed topology must also cover exactly the usable trunk
+        // links (the noisy link must be out, the healed one back in).
+        let expected_ends: usize = view
+            .usable_links()
+            .filter(|&l| !topo.link(l).is_loopback())
+            .count()
+            * 2;
+        let listed_ends: usize = topo
+            .switch_ids()
+            .map(|s| {
+                self.net
+                    .autopilot(s)
+                    .global()
+                    .and_then(|g| g.switch(self.net.autopilot(s).uid()))
+                    .map_or(0, |info| info.links.len())
+            })
+            .sum();
+        expected_ends == listed_ends
+    }
+
+    fn final_audit(&self) -> Result<(), String> {
+        Ok(())
+    }
+}

@@ -1,0 +1,190 @@
+//! Up\*/down\* cycle-freedom of *installed* forwarding tables.
+//!
+//! The paper's central safety claim is not about the route computation in
+//! the abstract but about what the hardware is actually loaded with:
+//! every set of tables under which host traffic can flow must be free of
+//! forwarding loops and of channel-dependency deadlock (§4). This module
+//! checks that claim against the tables a backend really installed, by
+//! building the *channel dependency graph*: one node per directed trunk
+//! channel, and an edge `c1 → c2` whenever some table forwards a packet
+//! that arrived over `c1` out over `c2`. Up\*/down\* routing orders
+//! channels (up before down), so for any correct table set — including
+//! the union over all destinations and the multipath alternatives — this
+//! graph is acyclic. A cycle is simultaneously a potential forwarding
+//! loop (if one destination's entries close it) and a potential deadlock
+//! (if several destinations' entries do), so one check covers both.
+//!
+//! Only *open* switches contribute tables: during a reconfiguration the
+//! network is closed and hosts cannot inject, so transiently inconsistent
+//! mixtures across a closed boundary are not a safety violation. The
+//! oracle re-runs whenever a switch opens or installs a table while open.
+//!
+//! Broadcast addresses are excluded. Broadcast traffic is confined to
+//! spanning-tree links by construction (the flood sets name tree children
+//! only, and the up phase starts at tree leaves), but the route computer
+//! also programs *defensive* broadcast entries on non-tree trunk in-ports
+//! — ports no broadcast packet can arrive on. Those dead entries would
+//! read as down→up edges and make the union graph cyclic even for
+//! perfectly correct tables; broadcast deadlock-freedom rests on tree
+//! confinement plus FIFO sizing, not on channel ordering.
+
+use std::collections::BTreeSet;
+
+use autonet_switch::ForwardingTable;
+use autonet_topo::{deadlock::find_cycle, LinkId, SwitchId, Topology};
+use autonet_wire::PortIndex;
+
+/// Looks for a cycle in the channel dependency graph induced by the given
+/// tables (`tables[s]` is the table of switch `s` if it is open and has
+/// one installed). Returns a human-readable description of the cycle's
+/// channels, or `None` if the graph is acyclic.
+pub fn find_table_cycle(
+    topo: &Topology,
+    tables: &[Option<ForwardingTable>],
+) -> Option<Vec<String>> {
+    let n_channels = 2 * topo.num_links();
+    // Directed channel id: 2*link + 0 for a→b, + 1 for b→a.
+    let channel_into = |l: LinkId, dst: SwitchId| -> Option<usize> {
+        let spec = topo.link(l);
+        if spec.is_loopback() {
+            return None;
+        }
+        if spec.b.switch == dst {
+            Some(2 * l.0)
+        } else {
+            Some(2 * l.0 + 1)
+        }
+    };
+    let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (s, table) in tables.iter().enumerate() {
+        let Some(table) = table else { continue };
+        let sid = SwitchId(s);
+        // This switch's trunk ports and their directed channels.
+        let trunk: Vec<(PortIndex, usize, usize)> = topo
+            .links_at(sid)
+            .filter_map(|(port, l)| {
+                let c_in = channel_into(l, sid)?;
+                let far = topo.link(l).other_end(sid).switch;
+                let c_out = channel_into(l, far)?;
+                Some((port, c_in, c_out))
+            })
+            .collect();
+        let out_channel = |q: PortIndex| trunk.iter().find(|&&(p, _, _)| p == q).map(|t| t.2);
+        for &(in_port, c_in, _) in &trunk {
+            // Every programmed index for this in-port: exact entries and
+            // per-remote-switch prefix runs.
+            let outs = table
+                .iter()
+                .filter(|((p, addr), _)| *p == in_port && !addr.is_broadcast())
+                .map(|(_, e)| e)
+                .chain(
+                    table
+                        .iter_prefixes()
+                        .filter(|((p, _), _)| *p == in_port)
+                        .map(|(_, e)| e),
+                );
+            for entry in outs {
+                for q in entry.ports.iter() {
+                    if let Some(c_out) = out_channel(q) {
+                        edges.insert((c_in, c_out));
+                    }
+                }
+            }
+        }
+    }
+    let edge_list: Vec<(usize, usize)> = edges.into_iter().collect();
+    let mut cycle = find_cycle(n_channels, &edge_list)?;
+    // `find_cycle` repeats the first node at the end; list each channel once.
+    if cycle.len() > 1 && cycle.first() == cycle.last() {
+        cycle.pop();
+    }
+    Some(
+        cycle
+            .iter()
+            .map(|&c| {
+                let spec = topo.link(LinkId(c / 2));
+                let (from, to) = if c % 2 == 0 {
+                    (spec.a.switch.0, spec.b.switch.0)
+                } else {
+                    (spec.b.switch.0, spec.a.switch.0)
+                };
+                format!("s{from}→s{to} (link {})", c / 2)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autonet_core::{compute_forwarding_table, global_from_view, Epoch, RouteKind};
+    use autonet_switch::{ForwardingEntry, PortSet};
+    use autonet_topo::gen;
+    use autonet_wire::ShortAddress;
+    use std::collections::BTreeMap;
+
+    /// Tables the real route computation produces are cycle-free.
+    #[test]
+    fn computed_tables_have_no_channel_cycle() {
+        let topo = gen::torus(3, 3, 5);
+        let view = topo.view_all();
+        let global = global_from_view(&view, Epoch(1), &BTreeMap::new()).unwrap();
+        let tables: Vec<Option<ForwardingTable>> = topo
+            .switch_ids()
+            .map(|s| compute_forwarding_table(&global, topo.switch(s).uid, &[], RouteKind::UpDown))
+            .collect();
+        assert!(tables.iter().all(|t| t.is_some()));
+        assert_eq!(find_table_cycle(&topo, &tables), None);
+    }
+
+    /// A hand-built two-switch ping-pong entry is the smallest loop.
+    #[test]
+    fn reflected_entries_are_reported_as_a_cycle() {
+        let topo = gen::line(2, 0);
+        let spec = topo.link(LinkId(0)).clone();
+        let mut ta = ForwardingTable::new();
+        let mut tb = ForwardingTable::new();
+        // Each side forwards packets for switch number 9 straight back
+        // over the link they arrived on.
+        ta.set_switch_prefix(
+            spec.a.port,
+            9,
+            ForwardingEntry::alternatives(PortSet::single(spec.a.port)),
+        );
+        tb.set_switch_prefix(
+            spec.b.port,
+            9,
+            ForwardingEntry::alternatives(PortSet::single(spec.b.port)),
+        );
+        let cycle = find_table_cycle(&topo, &[Some(ta), Some(tb)]).expect("loop must be found");
+        assert_eq!(cycle.len(), 2);
+        // Exact (non-prefix) entries close cycles too.
+        let mut ta2 = ForwardingTable::new();
+        ta2.set(
+            spec.a.port,
+            ShortAddress::assigned(3, 0),
+            ForwardingEntry::alternatives(PortSet::single(spec.a.port)),
+        );
+        let mut tb2 = ForwardingTable::new();
+        tb2.set(
+            spec.b.port,
+            ShortAddress::assigned(3, 0),
+            ForwardingEntry::alternatives(PortSet::single(spec.b.port)),
+        );
+        assert!(find_table_cycle(&topo, &[Some(ta2), Some(tb2)]).is_some());
+    }
+
+    /// A closed (None) switch cannot contribute to a cycle.
+    #[test]
+    fn closed_switches_are_excluded() {
+        let topo = gen::line(2, 0);
+        let spec = topo.link(LinkId(0)).clone();
+        let mut ta = ForwardingTable::new();
+        ta.set_switch_prefix(
+            spec.a.port,
+            9,
+            ForwardingEntry::alternatives(PortSet::single(spec.a.port)),
+        );
+        assert_eq!(find_table_cycle(&topo, &[Some(ta), None]), None);
+    }
+}

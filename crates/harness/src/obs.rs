@@ -1,0 +1,94 @@
+//! Control-plane observations: what a backend surfaces for online
+//! invariant checking.
+//!
+//! The paper's safety claims are about what happens *during* a
+//! reconfiguration — every installed forwarding table must already be
+//! loop- and deadlock-free, epochs must only move forward — so checkers
+//! need to see each table install and open/close transition as it
+//! happens, not just the end state. Both simulation backends record every
+//! such [`Environment`](crate::Environment) call into a [`ControlLog`];
+//! the scenario engine in `autonet-check` drains it between simulation
+//! steps and evaluates its oracles online.
+
+use autonet_core::Epoch;
+use autonet_sim::SimTime;
+use autonet_switch::ForwardingTable;
+
+/// One control-plane action a backend executed for a node.
+#[derive(Clone, Debug)]
+pub enum ControlEvent {
+    /// A complete forwarding table was loaded into the switch hardware.
+    TableInstalled(ForwardingTable),
+    /// The switch reopened for host traffic at the given epoch.
+    Opened(Epoch),
+    /// The switch closed for host traffic (a reconfiguration began).
+    Closed,
+}
+
+/// A timestamped [`ControlEvent`] attributed to one node.
+#[derive(Clone, Debug)]
+pub struct ControlRecord {
+    /// When the environment call happened.
+    pub time: SimTime,
+    /// The node (switch index in the backend's topology) it happened on.
+    pub node: usize,
+    /// What happened.
+    pub event: ControlEvent,
+}
+
+/// An append-only log of control-plane actions, drained by checkers.
+#[derive(Default)]
+pub struct ControlLog {
+    records: Vec<ControlRecord>,
+}
+
+impl ControlLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ControlLog::default()
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, time: SimTime, node: usize, event: ControlEvent) {
+        self.records.push(ControlRecord { time, node, event });
+    }
+
+    /// All records accumulated so far.
+    pub fn records(&self) -> &[ControlRecord] {
+        &self.records
+    }
+
+    /// Removes and returns everything accumulated since the last drain.
+    pub fn drain(&mut self) -> Vec<ControlRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Number of undrained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether there is nothing to drain.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_drain() {
+        let mut log = ControlLog::new();
+        assert!(log.is_empty());
+        log.push(SimTime::from_millis(1), 0, ControlEvent::Closed);
+        log.push(SimTime::from_millis(2), 1, ControlEvent::Opened(Epoch(3)));
+        assert_eq!(log.len(), 2);
+        let drained = log.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(log.is_empty());
+        assert!(matches!(drained[1].event, ControlEvent::Opened(Epoch(3))));
+        assert_eq!(drained[0].node, 0);
+    }
+}

@@ -63,6 +63,8 @@ pub struct NetWorld {
     host_link_busy: Vec<[[SimTime; 2]; 2]>,
     events: Vec<NetEvent>,
     deliveries: Vec<DeliveryRecord>,
+    /// Every table install and open/close, for online invariant checkers.
+    control: autonet_harness::ControlLog,
     stats: NetStats,
     /// Randomness for loss injection (seeded; deterministic).
     rng: SimRng,
@@ -110,6 +112,7 @@ impl Network {
             hosts,
             events: Vec::new(),
             deliveries: Vec::new(),
+            control: autonet_harness::ControlLog::new(),
             stats: NetStats::default(),
             rng: rng.fork(1),
             topo,
@@ -146,6 +149,29 @@ impl Network {
     /// Delivered data frames.
     pub fn deliveries(&self) -> &[DeliveryRecord] {
         &self.sim.world().deliveries
+    }
+
+    /// The undrained control-plane observations (table installs and
+    /// open/close transitions; see [`autonet_harness::ControlLog`]).
+    pub fn control_log(&self) -> &autonet_harness::ControlLog {
+        &self.sim.world().control
+    }
+
+    /// Whether trunk link `l` is physically up right now (fault schedules
+    /// — flaps in particular — change this underneath the caller).
+    pub fn link_is_up(&self, l: autonet_topo::LinkId) -> bool {
+        self.sim.world().link_up[l.0]
+    }
+
+    /// Whether switch `s` is powered right now.
+    pub fn switch_is_up(&self, s: autonet_topo::SwitchId) -> bool {
+        self.sim.world().switches[s.0].up
+    }
+
+    /// Drains the control-plane observations accumulated since the last
+    /// drain — the scenario engine's online-checking hook.
+    pub fn drain_control_records(&mut self) -> Vec<autonet_harness::ControlRecord> {
+        self.sim.world_mut().control.drain()
     }
 
     /// Runs for a span of virtual time.

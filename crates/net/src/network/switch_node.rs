@@ -6,7 +6,7 @@
 //! handlers that decide *when* the harness entry points run.
 
 use autonet_core::{Autopilot, AutopilotParams, ControlMsg, Epoch, PortState, SrpPayload};
-use autonet_harness::{control_packet, Environment, NodeHarness};
+use autonet_harness::{control_packet, ControlEvent, Environment, NodeHarness};
 use autonet_sim::{Scheduler, SimTime};
 use autonet_switch::{ForwardingTable, LinkUnitStatus};
 use autonet_topo::SwitchId;
@@ -79,7 +79,10 @@ impl Environment for PacketEnv<'_, '_> {
             .transmit_from_switch(now, self.s, port, packet, self.sched);
     }
 
-    fn load_table(&mut self, _now: SimTime, table: ForwardingTable) {
+    fn load_table(&mut self, now: SimTime, table: ForwardingTable) {
+        self.w
+            .control
+            .push(now, self.s, ControlEvent::TableInstalled(table.clone()));
         self.w.switches[self.s].table = table;
     }
 
@@ -94,11 +97,15 @@ impl Environment for PacketEnv<'_, '_> {
     fn network_opened(&mut self, now: SimTime, epoch: Epoch) {
         self.w.stats.note_open(now);
         self.w
+            .control
+            .push(now, self.s, ControlEvent::Opened(epoch));
+        self.w
             .log_event(now, NetEventKind::SwitchOpened(SwitchId(self.s), epoch));
     }
 
     fn network_closed(&mut self, now: SimTime) {
         self.w.stats.note_close(now);
+        self.w.control.push(now, self.s, ControlEvent::Closed);
         self.w
             .log_event(now, NetEventKind::SwitchClosed(SwitchId(self.s)));
     }

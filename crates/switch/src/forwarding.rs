@@ -180,6 +180,18 @@ impl ForwardingTable {
             .iter()
             .map(|(&(p, d), &e)| ((p, ShortAddress::from_raw(d)), e))
     }
+
+    /// Iterates over the per-remote-switch prefix runs as
+    /// `((in_port, switch_number), entry)`. Together with [`iter`] this
+    /// covers every programmed index, which is what whole-table analyses
+    /// (e.g. the installed-table loop oracle) need.
+    ///
+    /// [`iter`]: ForwardingTable::iter
+    pub fn iter_prefixes(
+        &self,
+    ) -> impl Iterator<Item = ((PortIndex, SwitchNumber), ForwardingEntry)> + '_ {
+        self.prefixes.iter().map(|(&(p, n), &e)| ((p, n), e))
+    }
 }
 
 #[cfg(test)]

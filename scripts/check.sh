@@ -14,4 +14,7 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+echo "==> campaign corpus (release)"
+cargo test --release -q --test check_campaigns -- --ignored
+
 echo "OK"

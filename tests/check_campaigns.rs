@@ -1,0 +1,206 @@
+//! The invariant-oracle campaign corpus.
+//!
+//! Three layers of assurance, all built on `autonet_check`:
+//!
+//! 1. **Seeded corpus** — randomly generated fault campaigns (fixed
+//!    seeds, fully deterministic) run against the packet backend with the
+//!    honest tuned parameters. Every oracle must stay silent. On a
+//!    failure the schedule is shrunk and the panic message carries a
+//!    copy-pasteable `#[test]` reproducing it.
+//! 2. **Planted bug** — the same engine run with the skeptic hysteresis
+//!    deliberately disabled (`degraded_params`) against the bounds the
+//!    tuned parameters promise. The skeptic oracle must fire, and the
+//!    shrinker must cut the campaign down to a handful of events.
+//! 3. **Slot-level campaign** — a cable fault driven through the
+//!    slot-accurate backend (emulated as line noise), proving the engine
+//!    and oracles are substrate-independent.
+
+use autonet::autopilot::AutopilotParams;
+use autonet::net::{NetParams, SlotNet};
+use autonet_check::{
+    degraded_params, packet_reproducer, random_scenario, run_packet, run_slot, FaultEvent, FaultOp,
+    OracleConfig, Reproducer, Scenario, TopoSpec,
+};
+
+/// Shrinks a failing campaign and panics with a self-contained reproducer
+/// (the whole point of the exercise: the CI log *is* the regression test).
+fn fail_with_reproducer(scenario: &Scenario, params: &NetParams, cfg: &OracleConfig) -> ! {
+    let rep = packet_reproducer(scenario, params, cfg).expect("caller observed a violation");
+    panic!(
+        "campaign {} violated an invariant; minimal reproducer:\n\n{}",
+        scenario.name,
+        rep.snippet(
+            "let params = autonet::net::NetParams::tuned();\n    \
+             let cfg = OracleConfig::from_params(&params.autopilot);",
+            "run_packet(&scenario, &params, &cfg)",
+        )
+    );
+}
+
+fn run_corpus(seeds: impl Iterator<Item = u64>, n_events: usize) {
+    let params = NetParams::tuned();
+    let cfg = OracleConfig::from_params(&params.autopilot);
+    for seed in seeds {
+        let scenario = random_scenario(seed, n_events);
+        let outcome = run_packet(&scenario, &params, &cfg);
+        if !outcome.passed() {
+            fail_with_reproducer(&scenario, &params, &cfg);
+        }
+        assert!(
+            outcome.quiescences >= 2,
+            "{}: campaign must reach initial and final quiescence",
+            scenario.name
+        );
+    }
+}
+
+/// The tier-1 corpus: small but honest — every oracle armed, every fault
+/// class reachable by the generator.
+#[test]
+fn seeded_campaign_corpus() {
+    run_corpus(1..=4, 6);
+}
+
+/// The release-mode corpus CI runs via `scripts/check.sh` (`--ignored`):
+/// more seeds, longer schedules.
+#[test]
+#[ignore = "release-mode corpus; run explicitly (scripts/check.sh does)"]
+fn seeded_campaign_corpus_extended() {
+    run_corpus(1..=12, 10);
+}
+
+/// The planted-bug acceptance check: disable the skeptic hysteresis, keep
+/// the oracle honest, and the engine must (a) catch it, (b) shrink the
+/// schedule to ≤ 5 events, and (c) reproduce it deterministically from
+/// the shrunk schedule.
+#[test]
+fn planted_skeptic_bug_is_caught_and_shrunk() {
+    let params = NetParams {
+        autopilot: degraded_params(),
+        ..NetParams::tuned()
+    };
+    // Bounds derived from the *tuned* parameters: what the skeptic is
+    // supposed to enforce. A 5 ms observation step keeps the episode
+    // measurement tight enough to convict.
+    let cfg = OracleConfig {
+        step_ms: 5,
+        ..OracleConfig::from_params(&AutopilotParams::tuned())
+    };
+    // One short cable bounce (the actual bug trigger: down 40 ms, the
+    // degraded skeptic readmits far inside the 100 ms hold) buried in
+    // decoy events the shrinker must discard.
+    let scenario = Scenario {
+        name: "planted-skeptic".into(),
+        topo: TopoSpec::Ring { n: 4, seed: 0 },
+        seed: 7,
+        events: vec![
+            FaultEvent {
+                at_ms: 100,
+                op: FaultOp::LinkDown(0),
+            },
+            FaultEvent {
+                at_ms: 140,
+                op: FaultOp::LinkUp(0),
+            },
+            FaultEvent {
+                at_ms: 400,
+                op: FaultOp::LinkDown(1),
+            },
+            FaultEvent {
+                at_ms: 900,
+                op: FaultOp::LinkUp(1),
+            },
+            FaultEvent {
+                at_ms: 1200,
+                op: FaultOp::LinkFlaps {
+                    link: 2,
+                    half_period_ms: 200,
+                    cycles: 1,
+                },
+            },
+            FaultEvent {
+                at_ms: 1300,
+                op: FaultOp::Waypoint { settle_ms: 60_000 },
+            },
+        ],
+        settle_ms: 60_000,
+    };
+
+    let outcome = run_packet(&scenario, &params, &cfg);
+    let violation = outcome
+        .violation
+        .expect("the degraded skeptic must be caught");
+    assert_eq!(violation.kind(), "skeptic-hold", "got: {violation}");
+
+    let shrunk = autonet_check::shrink_schedule(&scenario, |s| {
+        run_packet(s, &params, &cfg)
+            .violation
+            .is_some_and(|v| v.kind() == "skeptic-hold")
+    });
+    assert!(
+        shrunk.events.len() <= 5,
+        "shrinker left {} events: {:#?}",
+        shrunk.events.len(),
+        shrunk.events
+    );
+    // The trigger pair must survive; every decoy must be gone.
+    assert!(shrunk
+        .events
+        .iter()
+        .any(|e| e.op == FaultOp::LinkDown(0) || e.op == FaultOp::LinkUp(0)));
+    assert!(!shrunk
+        .events
+        .iter()
+        .any(|e| matches!(e.op, FaultOp::LinkFlaps { .. } | FaultOp::Waypoint { .. })));
+
+    // Deterministic replay of the minimal schedule.
+    let replay = run_packet(&shrunk, &params, &cfg);
+    let v1 = replay.violation.expect("shrunk schedule must still fail");
+    assert_eq!(v1.kind(), "skeptic-hold");
+    let replay2 = run_packet(&shrunk, &params, &cfg);
+    assert_eq!(
+        replay2.violation,
+        Some(v1.clone()),
+        "replay must be bit-identical"
+    );
+
+    // And the reproducer snippet is a complete test.
+    let rep = Reproducer {
+        scenario: shrunk,
+        violation: v1,
+    };
+    let snippet = rep.snippet(
+        "let params = autonet::net::NetParams { autopilot: degraded_params(), ..autonet::net::NetParams::tuned() };\n    \
+         let cfg = OracleConfig { step_ms: 5, ..OracleConfig::from_params(&autonet::autopilot::AutopilotParams::tuned()) };",
+        "run_packet(&scenario, &params, &cfg)",
+    );
+    assert!(snippet.contains("fn reproduces_skeptic_hold()"));
+    assert!(snippet.contains("FaultOp::LinkDown(0)"));
+    assert!(snippet.contains("assert_eq!(v.kind(), \"skeptic-hold\")"));
+}
+
+/// The same engine and oracles over the slot-accurate backend: a cable is
+/// killed with line noise, the network must reconfigure around it and
+/// every oracle must stay silent.
+#[test]
+fn slot_campaign_survives_cable_fault() {
+    let params = SlotNet::fast_params();
+    let cfg = OracleConfig::from_params(&params);
+    let scenario = Scenario {
+        name: "slot-cable-fault".into(),
+        topo: TopoSpec::Ring { n: 3, seed: 0 },
+        seed: 99,
+        events: vec![FaultEvent {
+            at_ms: 10,
+            op: FaultOp::LinkDown(0),
+        }],
+        settle_ms: 2_000,
+    };
+    let outcome = run_slot(&scenario, params, &cfg);
+    assert!(
+        outcome.passed(),
+        "slot campaign violated an invariant: {}",
+        outcome.violation.unwrap()
+    );
+    assert!(outcome.quiescences >= 2);
+}

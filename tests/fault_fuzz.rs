@@ -1,109 +1,52 @@
-//! Failure-injection fuzzing: random topologies subjected to random
-//! sequences of link/switch failures and repairs. After the dust settles
-//! the control plane must always be consistent with the physical truth,
-//! regardless of what the fault schedule did to it in between.
+//! Failure-injection fuzzing: random topologies subjected to random fault
+//! schedules (link down/up, switch down/up, flaps), now driven through the
+//! `autonet_check` scenario engine so every run is watched by the full
+//! oracle suite — epoch monotonicity, forwarding-table cycle freedom,
+//! skeptic hysteresis bounds, per-component quiescence agreement, the
+//! reference-topology audit — rather than a single end-of-run check.
+//!
+//! When an oracle fires, the failing schedule is shrunk and the panic
+//! message carries a copy-pasteable `#[test]` that reproduces the exact
+//! violation: the CI log is the regression test.
 
-use autonet::net::{NetParams, Network};
-use autonet::sim::{SimDuration, SimRng, SimTime};
-use autonet::topo::{connected_components, gen, LinkId, SwitchId};
+use autonet::net::NetParams;
+use autonet_check::{packet_reproducer, random_scenario, run_packet, OracleConfig};
 
-/// One randomized scenario: build, converge, inject `n_faults` random
-/// events (link down/up, switch down/up), settle, verify.
-fn scenario(seed: u64, n_faults: usize) {
-    let n_switches = 6 + (seed % 7) as usize;
-    let extra = (seed % 5) as usize;
-    let topo = gen::random_connected(n_switches, extra, seed.wrapping_mul(31));
-    let mut net = Network::new(topo, NetParams::tuned(), seed);
-    net.run_until_stable(SimTime::from_secs(60))
-        .unwrap_or_else(|| panic!("seed {seed}: bring-up failed"));
-
-    let mut rng = SimRng::new(seed ^ 0xF417);
-    let n_links = net.topology().num_links();
-    let mut link_state = vec![true; n_links];
-    let mut switch_state = vec![true; n_switches];
-    let mut t = net.now();
-    for _ in 0..n_faults {
-        t += SimDuration::from_millis(rng.range(1, 400));
-        match rng.below(4) {
-            0 => {
-                let l = rng.index(n_links);
-                if link_state[l] {
-                    link_state[l] = false;
-                    net.schedule_link_down(t, LinkId(l));
-                }
-            }
-            1 => {
-                let l = rng.index(n_links);
-                if !link_state[l] {
-                    link_state[l] = true;
-                    net.schedule_link_up(t, LinkId(l));
-                }
-            }
-            2 => {
-                // Keep at least half the switches alive.
-                let down = switch_state.iter().filter(|&&u| !u).count();
-                if down < n_switches / 2 {
-                    let s = rng.index(n_switches);
-                    if switch_state[s] {
-                        switch_state[s] = false;
-                        net.schedule_switch_down(t, SwitchId(s));
-                    }
-                }
-            }
-            _ => {
-                let s = rng.index(n_switches);
-                if !switch_state[s] {
-                    switch_state[s] = true;
-                    net.schedule_switch_up(t, SwitchId(s));
-                }
-            }
-        }
+/// Runs one generated campaign; on violation, shrinks and panics with the
+/// self-contained reproducer.
+fn fuzz_campaign(seed: u64, n_events: usize) {
+    let params = NetParams::tuned();
+    let cfg = OracleConfig::from_params(&params.autopilot);
+    let scenario = random_scenario(seed, n_events);
+    let outcome = run_packet(&scenario, &params, &cfg);
+    if !outcome.passed() {
+        let rep = packet_reproducer(&scenario, &params, &cfg).expect("outcome had a violation");
+        panic!(
+            "campaign {} (seed {seed}) violated an invariant; minimal reproducer:\n\n{}",
+            scenario.name,
+            rep.snippet(
+                "let params = autonet::net::NetParams::tuned();\n    \
+                 let cfg = OracleConfig::from_params(&params.autopilot);",
+                "run_packet(&scenario, &params, &cfg)",
+            )
+        );
     }
-    // Let the barrage land and the network settle. Repairs can earn long
-    // skeptic holds when a port relapsed several times, so allow for them.
-    net.run_for(t.saturating_since(net.now()) + SimDuration::from_millis(100));
-    let done = net.run_until_stable(net.now() + SimDuration::from_secs(300));
     assert!(
-        done.is_some(),
-        "seed {seed}: network never settled after {n_faults} faults"
+        outcome.quiescences >= 2,
+        "seed {seed}: campaign must reach initial and final quiescence"
     );
-    net.check_against_reference()
-        .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
-    // Explicit partition audit: every physical component has exactly one
-    // configuration of its own size.
-    let mut view = net.topology().view_all();
-    for (l, &up) in link_state.iter().enumerate() {
-        if !up {
-            view.fail_link(LinkId(l));
-        }
-    }
-    for (s, &up) in switch_state.iter().enumerate() {
-        if !up {
-            view.fail_switch(SwitchId(s));
-        }
-    }
-    for component in connected_components(&view) {
-        for &sid in &component {
-            let g = net.autopilot(sid).global().expect("configured");
-            assert_eq!(
-                g.switches.len(),
-                component.len(),
-                "seed {seed}: {sid:?} sees the wrong component size"
-            );
-        }
-    }
 }
 
 #[test]
 fn random_fault_sequences_always_settle_consistently() {
     for seed in 1..=10 {
-        scenario(seed, 8);
+        fuzz_campaign(seed, 8);
     }
 }
 
 #[test]
 fn heavier_fault_barrage() {
     for seed in 100..=103 {
-        scenario(seed, 20);
+        fuzz_campaign(seed, 20);
     }
 }

@@ -112,3 +112,169 @@ fn packet_and_slot_environments_agree() {
         PortState::Host
     );
 }
+
+/// Three switches in a ring — redundancy, so a single cable fault never
+/// partitions and both backends must keep one network on one epoch.
+fn ring3() -> Topology {
+    let mut t = Topology::new();
+    let a = t.add_switch(Uid::new(1)).unwrap();
+    let b = t.add_switch(Uid::new(2)).unwrap();
+    let c = t.add_switch(Uid::new(3)).unwrap();
+    t.connect(a, b, LinkTiming::coax_100m()).unwrap();
+    t.connect(b, c, LinkTiming::coax_100m()).unwrap();
+    t.connect(c, a, LinkTiming::coax_100m()).unwrap();
+    t
+}
+
+/// Trunk-port classifications every up switch reports, in a fixed order.
+fn trunk_states(
+    topo: &Topology,
+    state: impl Fn(SwitchId, PortIndex) -> PortState,
+) -> Vec<(usize, PortIndex, PortState)> {
+    let mut out = Vec::new();
+    for s in topo.switch_ids() {
+        for (port, l) in topo.links_at(s) {
+            if !topo.link(l).is_loopback() {
+                out.push((s.0, port, state(s, port)));
+            }
+        }
+    }
+    out
+}
+
+/// The same cable fault — cut, reconfigure, splice, readmit — must leave
+/// both backends with identical trunk classifications at each stage, and
+/// the fault must cost each backend at least one epoch. The packet model
+/// cuts the abstract link; the slot model drowns both ends in code
+/// violations until the samplers condemn them, then goes quiet, exactly
+/// as §5.3 hardware would present the fault.
+#[test]
+fn packet_and_slot_environments_agree_across_link_fault() {
+    let params = SlotNet::fast_params();
+    let topo = ring3();
+    let spec = topo.link(LinkId(0)).clone();
+
+    let mut slot = SlotNet::new(&ring3(), params);
+    slot.boot();
+    assert!(
+        slot.run_until_converged(3, 8_000_000),
+        "slot-level bring-up failed (t = {})",
+        slot.now()
+    );
+
+    let net_params = NetParams {
+        autopilot: params,
+        boot_jitter: SimDuration::ZERO,
+        cpu: CpuModel {
+            per_packet: SimDuration::from_micros(5),
+            per_byte: SimDuration::from_nanos(50),
+        },
+        ..NetParams::tuned()
+    };
+    let mut pkt = Network::new(ring3(), net_params, 1);
+    assert!(
+        pkt.run_until_stable(SimTime::from_secs(10)).is_some(),
+        "packet-level bring-up failed"
+    );
+
+    let slot_epoch0 = slot.autopilot(SwitchId(0)).epoch();
+    let pkt_epoch0 = pkt.autopilot(SwitchId(0)).epoch();
+
+    // Cut link 0. Give each backend time for its samplers to condemn the
+    // ports and the ring to reconfigure around the dead cable, then
+    // require quiescence.
+    slot.inject_noise(spec.a.switch, spec.a.port, 20_000, 7);
+    slot.inject_noise(spec.b.switch, spec.b.port, 20_000, 8);
+    slot.run_slots(1_000_000);
+    assert!(
+        slot.run_until_converged(3, 16_000_000),
+        "slot-level reconfiguration after cut failed (t = {})",
+        slot.now()
+    );
+    pkt.schedule_link_down(pkt.now() + SimDuration::from_millis(1), LinkId(0));
+    pkt.run_for(SimDuration::from_millis(80));
+    assert!(
+        pkt.run_until_stable(pkt.now() + SimDuration::from_secs(10))
+            .is_some(),
+        "packet-level reconfiguration after cut failed"
+    );
+
+    for s in topo.switch_ids() {
+        assert!(
+            pkt.autopilot(s).epoch() > pkt_epoch0,
+            "packet: cut cost no epoch at switch {}",
+            s.0
+        );
+        assert!(
+            slot.autopilot(s).epoch() > slot_epoch0,
+            "slot: cut cost no epoch at switch {}",
+            s.0
+        );
+    }
+    assert_eq!(
+        trunk_states(&topo, |s, p| pkt.autopilot(s).port_state(p)),
+        trunk_states(&topo, |s, p| slot.autopilot(s).port_state(p)),
+        "post-cut trunk classifications"
+    );
+    for (end, backend_pkt, backend_slot) in [
+        (
+            spec.a,
+            pkt.autopilot(spec.a.switch),
+            slot.autopilot(spec.a.switch),
+        ),
+        (
+            spec.b,
+            pkt.autopilot(spec.b.switch),
+            slot.autopilot(spec.b.switch),
+        ),
+    ] {
+        assert_eq!(backend_pkt.port_state(end.port), PortState::Dead);
+        assert_eq!(backend_slot.port_state(end.port), PortState::Dead);
+    }
+
+    // Splice the cable back. The skeptics must readmit it on both
+    // backends, and the ring must settle on a single epoch again.
+    let slot_epoch1 = slot.autopilot(SwitchId(0)).epoch();
+    let pkt_epoch1 = pkt.autopilot(SwitchId(0)).epoch();
+    slot.inject_noise(spec.a.switch, spec.a.port, 0, 7);
+    slot.inject_noise(spec.b.switch, spec.b.port, 0, 8);
+    slot.run_slots(1_000_000);
+    assert!(
+        slot.run_until_converged(3, 16_000_000),
+        "slot-level readmission failed (t = {})",
+        slot.now()
+    );
+    pkt.schedule_link_up(pkt.now() + SimDuration::from_millis(1), LinkId(0));
+    pkt.run_for(SimDuration::from_millis(80));
+    assert!(
+        pkt.run_until_stable(pkt.now() + SimDuration::from_secs(10))
+            .is_some(),
+        "packet-level readmission failed"
+    );
+
+    assert!(pkt.autopilot(SwitchId(0)).epoch() > pkt_epoch1);
+    assert!(slot.autopilot(SwitchId(0)).epoch() > slot_epoch1);
+    let healed = trunk_states(&topo, |s, p| pkt.autopilot(s).port_state(p));
+    assert_eq!(
+        healed,
+        trunk_states(&topo, |s, p| slot.autopilot(s).port_state(p)),
+        "post-heal trunk classifications"
+    );
+    assert!(
+        healed.iter().all(|&(_, _, st)| st == PortState::SwitchGood),
+        "every trunk port back in service: {healed:?}"
+    );
+    for backend_epochs in [
+        topo.switch_ids()
+            .map(|s| pkt.autopilot(s).epoch())
+            .collect::<Vec<_>>(),
+        topo.switch_ids()
+            .map(|s| slot.autopilot(s).epoch())
+            .collect::<Vec<_>>(),
+    ] {
+        assert!(
+            backend_epochs.windows(2).all(|w| w[0] == w[1]),
+            "single final epoch per backend: {backend_epochs:?}"
+        );
+    }
+}

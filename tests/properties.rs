@@ -6,11 +6,24 @@ use proptest::prelude::*;
 
 use autonet::autopilot::Epoch;
 use autonet::autopilot::{
-    assign_switch_numbers, global_from_view_simple, ControlMsg, RouteComputer, RouteKind,
-    SrpPayload, SwitchInfo, TreePosition,
+    assign_switch_numbers, global_from_view_simple, AutopilotParams, ConnectivityEvent,
+    ConnectivityMonitor, ControlMsg, PortState, RouteComputer, RouteKind, Skeptic, SrpPayload,
+    SwitchInfo, TreePosition,
 };
+use autonet::sim::{SimDuration, SimTime};
 use autonet::topo::gen;
 use autonet::wire::{crc32, Packet, PacketType, ShortAddress, Uid};
+
+/// One step of an adversarial schedule against a [`Skeptic`].
+#[derive(Clone, Copy, Debug)]
+enum SkepticOp {
+    /// A relapse: the port misbehaved.
+    Bad,
+    /// The port entered a good state.
+    GoodStart,
+    /// An idle observation (only time passes).
+    Observe,
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -185,6 +198,83 @@ proptest! {
         prop_assert_eq!(addr.split_assigned(), Some((switch, port)));
         prop_assert!(!addr.is_broadcast());
         prop_assert_eq!(ShortAddress::from_bytes(addr.to_bytes()), addr);
+    }
+
+    /// The skeptic's required hold stays within `[min_hold, max_hold]`
+    /// under any schedule of relapses, good streaks and idle reads
+    /// (§6.5.5: backoff is capped, decay is clamped at the minimum).
+    #[test]
+    fn skeptic_hold_stays_within_bounds(
+        min_ms in 1u64..50,
+        mult in 1u64..64,
+        decay_ms in 0u64..500,
+        schedule in prop::collection::vec(
+            (
+                prop_oneof![
+                    2 => Just(SkepticOp::Bad),
+                    2 => Just(SkepticOp::GoodStart),
+                    1 => Just(SkepticOp::Observe),
+                ],
+                0u64..2_000,
+            ),
+            1..60,
+        ),
+    ) {
+        let min = SimDuration::from_millis(min_ms);
+        let max = SimDuration::from_millis(min_ms * mult);
+        let mut s = Skeptic::new(min, max, SimDuration::from_millis(decay_ms));
+        let mut now = SimTime::ZERO;
+        for (op, dt_ms) in schedule {
+            now += SimDuration::from_millis(dt_ms);
+            match op {
+                SkepticOp::Bad => s.on_bad(now),
+                SkepticOp::GoodStart => s.on_good_start(now),
+                SkepticOp::Observe => {}
+            }
+            let hold = s.current_hold_at(now);
+            prop_assert!(hold >= min, "hold {hold:?} fell below min {min:?}");
+            prop_assert!(hold <= max, "hold {hold:?} exceeded max {max:?}");
+            prop_assert_eq!(s.required_hold(), hold);
+        }
+    }
+
+    /// A link flapping faster than the connectivity skeptic's window can
+    /// never reach `s.switch.good`: every flap restarts the good streak,
+    /// and the streak needed is at least `conn_min_hold` (§6.5.5).
+    #[test]
+    fn flapping_faster_than_skeptic_window_never_promotes(
+        hold_ms in 30u64..150,
+        flap_ms in 1u64..30,
+        cycles in 10u64..40,
+    ) {
+        // Probe fast relative to the flapping so lack of promotion is the
+        // skeptic's doing, not the probe schedule's.
+        let params = AutopilotParams {
+            conn_min_hold: SimDuration::from_millis(hold_ms),
+            probe_interval: SimDuration::from_millis(1),
+            probe_timeout: SimDuration::from_millis(2),
+            ..AutopilotParams::tuned()
+        };
+        let mut m = ConnectivityMonitor::new(&params, Uid::new(1), 0);
+        m.activate();
+        let mut now = SimTime::ZERO;
+        for t_ms in 1..=flap_ms * cycles {
+            now += SimDuration::from_millis(1);
+            if t_ms % flap_ms == 0 {
+                // The sampler condemns the port mid-flap, then re-approves.
+                let _ = m.deactivate(now);
+                m.activate();
+            }
+            let (probe, _) = m.on_tick(now);
+            if let Some(ControlMsg::Probe { seq, origin, origin_port }) = probe {
+                let ev = m.on_reply(now, seq, origin, origin_port, Uid::new(2), 4);
+                prop_assert!(
+                    !matches!(ev, Some(ConnectivityEvent::BecameGood(_))),
+                    "promoted at t={t_ms}ms despite {flap_ms}ms flapping < {hold_ms}ms hold"
+                );
+            }
+            prop_assert_ne!(m.state(), PortState::SwitchGood);
+        }
     }
 }
 

@@ -37,6 +37,72 @@ pub mod strategy {
         {
             Map { inner: self, f }
         }
+
+        /// Erases the strategy's concrete type so differently shaped
+        /// strategies over one value type can live in one collection
+        /// (what [`Union`] and `prop_oneof!` need).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy (see [`Strategy::boxed`]).
+    pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+    impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (self.0)(rng)
+        }
+    }
+
+    /// A weighted choice among strategies of one value type (the engine
+    /// behind `prop_oneof!`).
+    pub struct Union<S: Strategy> {
+        options: Vec<(u32, S)>,
+    }
+
+    impl<S: Strategy> Union<S> {
+        /// An equal-weight union.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: impl IntoIterator<Item = S>) -> Self {
+            Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// A union with per-option weights.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty or all weights are zero.
+        pub fn new_weighted(options: Vec<(u32, S)>) -> Self {
+            let total: u64 = options.iter().map(|&(w, _)| u64::from(w)).sum();
+            assert!(total > 0, "union needs at least one positive weight");
+            Union { options }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            let total: u64 = self.options.iter().map(|&(w, _)| u64::from(w)).sum();
+            let mut roll = rng.next_u64() % total;
+            for (w, s) in &self.options {
+                let w = u64::from(*w);
+                if roll < w {
+                    return s.generate(rng);
+                }
+                roll -= w;
+            }
+            unreachable!("weights sum to total")
+        }
     }
 
     /// The strategy returned by [`Strategy::prop_map`].
@@ -490,14 +556,32 @@ macro_rules! prop_assume {
     };
 }
 
+/// Picks one of several strategies per case, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]` draws from `a` three times as often).
+/// All arms must produce the same value type; each is boxed into a
+/// [`strategy::Union`].
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat),)+
+        ])
+    };
+}
+
 pub mod prelude {
     //! Everything a property-test file needs, mirroring
     //! `proptest::prelude`.
     pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
-        TestCaseError, TestCaseResult,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError, TestCaseResult,
     };
 
     pub mod prop {
@@ -538,6 +622,42 @@ mod tests {
         fn prop_map_applies(d in (1u8..13, any::<bool>()).prop_map(|(p, b)| (p as u32 * 2, b))) {
             prop_assert!(d.0 >= 2 && d.0 < 26);
         }
+
+        #[test]
+        fn oneof_draws_only_from_its_arms(
+            x in prop_oneof![0u32..10, 100u32..110, Just(999u32)],
+        ) {
+            prop_assert!((0..10).contains(&x) || (100..110).contains(&x) || x == 999);
+        }
+    }
+
+    #[test]
+    fn weighted_oneof_respects_zero_weight() {
+        let strat = prop_oneof![1 => Just(1u8), 0 => Just(2u8)];
+        crate::runner::run_cases(&ProptestConfig::with_cases(64), "wz", (strat,), |(v,)| {
+            assert_eq!(v, 1, "zero-weight arm must never be drawn");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn oneof_eventually_draws_every_arm() {
+        let strat = prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut seen = [false; 3];
+        crate::runner::run_cases(&ProptestConfig::with_cases(64), "cov", (strat,), |(v,)| {
+            seen[v] = true;
+            Ok(())
+        });
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn boxed_strategy_preserves_behavior() {
+        let strat: BoxedStrategy<u16> = (5u16..9).prop_map(|v| v * 10).boxed();
+        crate::runner::run_cases(&ProptestConfig::with_cases(32), "box", (strat,), |(v,)| {
+            assert!(v >= 50 && v < 90 && v % 10 == 0);
+            Ok(())
+        });
     }
 
     #[test]
