@@ -40,6 +40,18 @@ fn main() {
     measure_preset("naive", NetParams::naive(), "~5000 ms", &mut rows);
     measure_preset("optimized", NetParams::optimized(), "~500 ms", &mut rows);
     measure_preset("tuned", NetParams::tuned(), "~170 ms", &mut rows);
+    // The perf configuration: typed event tracing off (zero-capacity
+    // rings, nothing reaches the spine). Virtual times must match the
+    // tuned row exactly — tracing is observability, not behavior.
+    measure_preset(
+        "tuned, tracing off",
+        NetParams {
+            tracing: false,
+            ..NetParams::tuned()
+        },
+        "~170 ms",
+        &mut rows,
+    );
     print_table(
         "E1: SRC network reconfiguration time, paper vs measured",
         &[

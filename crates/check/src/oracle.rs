@@ -1,7 +1,7 @@
 //! Online invariant oracles.
 //!
 //! Each oracle watches the control-plane observations a backend surfaces
-//! (the [`ControlRecord`] stream plus sampled port-state and epoch
+//! (the typed [`TraceRecord`] spine plus sampled port-state and epoch
 //! snapshots) and fires the moment an invariant of the paper is violated:
 //!
 //! - **Epoch monotonicity** (§6.2): every `network_opened` on a switch
@@ -27,11 +27,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use autonet_core::{AutopilotParams, Epoch, PortState};
-use autonet_harness::{ControlEvent, ControlRecord};
+use autonet_core::{AutopilotParams, Epoch, Event, PortState};
 use autonet_sim::{SimDuration, SimTime};
 use autonet_switch::ForwardingTable;
 use autonet_topo::{connected_components, NetView, Topology};
+use autonet_trace::TraceRecord;
 use autonet_wire::{PortIndex, Uid};
 
 use crate::scenario::FaultOp;
@@ -250,12 +250,14 @@ impl OracleState {
         }
     }
 
-    /// Feeds a drained batch of control records through the epoch and
-    /// table oracles, in order. Returns the first violation.
-    pub fn ingest(&mut self, topo: &Topology, records: &[ControlRecord]) -> Option<Violation> {
+    /// Feeds a drained batch of trace records through the epoch and
+    /// table oracles, in order. Only the control-plane events matter
+    /// here; port transitions, skeptic decisions and phase markers are
+    /// other consumers' business and are skipped.
+    pub fn ingest(&mut self, topo: &Topology, records: &[TraceRecord]) -> Option<Violation> {
         for rec in records {
             match &rec.event {
-                ControlEvent::Opened(epoch) => {
+                Event::NetworkOpened { epoch } => {
                     if self.cfg.check_epochs {
                         if let Some(prev) = self.last_open_epoch[rec.node] {
                             if *epoch <= prev {
@@ -274,10 +276,10 @@ impl OracleState {
                         return Some(v);
                     }
                 }
-                ControlEvent::Closed => {
+                Event::NetworkClosed { .. } => {
                     self.open[rec.node] = false;
                 }
-                ControlEvent::TableInstalled(table) => {
+                Event::TableInstalled { table, .. } => {
                     self.tables[rec.node] = Some(table.clone());
                     if self.open[rec.node] {
                         // A live patch (host arrival/departure) under an
@@ -287,6 +289,7 @@ impl OracleState {
                         }
                     }
                 }
+                _ => {}
             }
         }
         None

@@ -1,7 +1,7 @@
 //! One engine, two simulation backends.
 //!
 //! The scenario engine needs five things from a network: advance virtual
-//! time, apply a fault, drain the control-plane observation log, sample
+//! time, apply a fault, drain the typed event spine, sample
 //! the switches' externally visible state, and answer "has the control
 //! plane settled?". [`Substrate`] is that contract; [`PacketSubstrate`]
 //! implements it over the packet-level `Network` (full fault vocabulary)
@@ -11,10 +11,10 @@
 //! condemn it, silence to let the skeptics readmit it.
 
 use autonet_core::{AutopilotParams, Epoch, PortState};
-use autonet_harness::ControlRecord;
 use autonet_net::{Network, SlotNet};
 use autonet_sim::{SimDuration, SimTime};
 use autonet_topo::{HostId, LinkId, NetView, SwitchId, Topology};
+use autonet_trace::TraceRecord;
 use autonet_wire::{PortIndex, Uid, SLOT_NS};
 
 use crate::scenario::FaultOp;
@@ -58,8 +58,8 @@ pub trait Substrate {
     /// Panics if the backend cannot express the operation; campaigns must
     /// be authored against the backend's vocabulary.
     fn apply(&mut self, op: &FaultOp, topo: &Topology);
-    /// Drains the control-plane observations since the last drain.
-    fn drain_control(&mut self) -> Vec<ControlRecord>;
+    /// Drains the typed event spine since the last drain.
+    fn drain_control(&mut self) -> Vec<TraceRecord>;
     /// Samples every switch's control-plane state.
     fn snapshots(&self, topo: &Topology) -> Vec<NodeSnapshot>;
     /// Samples the classification of every cabled trunk port.
@@ -152,8 +152,8 @@ impl Substrate for PacketSubstrate {
         }
     }
 
-    fn drain_control(&mut self) -> Vec<ControlRecord> {
-        self.net.drain_control_records()
+    fn drain_control(&mut self) -> Vec<TraceRecord> {
+        self.net.drain_trace_records()
     }
 
     fn snapshots(&self, topo: &Topology) -> Vec<NodeSnapshot> {
@@ -277,8 +277,8 @@ impl Substrate for SlotSubstrate {
         }
     }
 
-    fn drain_control(&mut self) -> Vec<ControlRecord> {
-        self.net.drain_control_records()
+    fn drain_control(&mut self) -> Vec<TraceRecord> {
+        self.net.drain_trace_records()
     }
 
     fn snapshots(&self, topo: &Topology) -> Vec<NodeSnapshot> {

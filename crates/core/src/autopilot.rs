@@ -18,10 +18,11 @@ use autonet_wire::{PortIndex, ShortAddress, SwitchNumber, Uid, MAX_PORTS};
 
 use crate::connectivity::{ConnectivityEvent, ConnectivityMonitor};
 use crate::epoch::Epoch;
+use crate::events::{Event, ReconfigCause, SkepticKind, SkepticVerdict, TransitionCause};
 use crate::messages::{ControlMsg, SrpPayload};
 use crate::params::AutopilotParams;
 use crate::port_state::PortState;
-use crate::reconfig::{NeighborInfo, ReconfigEngine, ReconfigOutput};
+use crate::reconfig::{NeighborInfo, ReconfigEngine, ReconfigEvent, ReconfigOutput};
 use crate::routes::{compute_forwarding_table, program_one_hop, RouteKind};
 use crate::sampler::{SamplerEvent, StatusSampler};
 use crate::topology::GlobalTopology;
@@ -66,9 +67,14 @@ pub struct Autopilot {
     engine: ReconfigEngine,
     open: bool,
     proposed_number: SwitchNumber,
-    /// Timestamped event log (§6.7); merged across switches for debugging.
-    pub log: TraceLog,
+    /// Timestamped typed event log (§6.7); merged across switches for
+    /// debugging, flushed into the network-wide trace spine by harnesses.
+    pub log: TraceLog<Event>,
     log_source: u32,
+    /// Cause of the reconfiguration currently being started locally, so
+    /// the engine's `Started` event can be logged with it. `None` means
+    /// the epoch was joined from a neighbor's message.
+    pending_cause: Option<ReconfigCause>,
     reconfigs_triggered: u64,
     srp_replies: Vec<SrpPayload>,
 }
@@ -93,9 +99,21 @@ impl Autopilot {
             proposed_number: 1,
             log: TraceLog::new(256),
             log_source,
+            pending_cause: None,
             reconfigs_triggered: 0,
             srp_replies: Vec::new(),
         }
+    }
+
+    /// Turns event tracing on or off. Disabling replaces the ring with an
+    /// unallocated no-op log, so performance runs pay one branch per
+    /// would-be entry and allocate nothing.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.log = if enabled {
+            TraceLog::new(256)
+        } else {
+            TraceLog::disabled()
+        };
     }
 
     /// This switch's UID.
@@ -174,8 +192,9 @@ impl Autopilot {
 
     /// Power-on: configure the (so far lone) switch.
     pub fn boot(&mut self, now: SimTime) -> Vec<Action> {
-        self.log.log(now, self.log_source, "boot");
-        self.trigger_reconfiguration(now, "boot")
+        self.log
+            .log(now, self.log_source, Event::Boot { uid: self.uid });
+        self.trigger_reconfiguration(now, ReconfigCause::Boot)
     }
 
     /// Feeds one port's status snapshot (called every sampling interval).
@@ -188,8 +207,40 @@ impl Autopilot {
         let mut actions = Vec::new();
         let event = self.samplers[port as usize].on_sample(now, status);
         if let Some(SamplerEvent::Transition { from, to }) = event {
-            self.log
-                .log(now, self.log_source, format!("port {port}: {from} -> {to}"));
+            // The cause follows from the direction on the tower: only the
+            // skeptic's release leaves `s.dead`, only classification
+            // leaves `s.checking` upward, and every return to `s.dead` is
+            // a relapse.
+            let cause = match (from, to) {
+                (PortState::Dead, PortState::Checking) => TransitionCause::SkepticRelease,
+                (PortState::Checking, _) if to != PortState::Dead => TransitionCause::Classified,
+                _ => TransitionCause::Relapse,
+            };
+            self.log.log(
+                now,
+                self.log_source,
+                Event::PortTransition {
+                    port,
+                    from,
+                    to,
+                    cause,
+                },
+            );
+            let verdict = match cause {
+                TransitionCause::SkepticRelease => SkepticVerdict::Release,
+                TransitionCause::Classified => SkepticVerdict::Accept,
+                _ => SkepticVerdict::Hold,
+            };
+            self.log.log(
+                now,
+                self.log_source,
+                Event::SkepticDecision {
+                    port,
+                    skeptic: SkepticKind::Status,
+                    verdict,
+                    hold: self.samplers[port as usize].required_hold(),
+                },
+            );
             match (from, to) {
                 (_, PortState::Host) | (PortState::Host, _) => {
                     // Host arrivals/departures patch the local table only,
@@ -197,7 +248,7 @@ impl Autopilot {
                     let hosts = self.host_ports();
                     let proposed = self.proposed_number;
                     self.engine.update_local_info(proposed, hosts);
-                    self.reload_table(&mut actions);
+                    self.reload_table(now, &mut actions);
                     if from.is_switch() {
                         // Shouldn't happen (sampler goes via checking), but
                         // keep the monitor consistent.
@@ -211,7 +262,7 @@ impl Autopilot {
                     let was_good = self.monitors[port as usize].state() == PortState::SwitchGood;
                     let _ = self.monitors[port as usize].deactivate(now);
                     if was_good {
-                        actions.extend(self.trigger_reconfiguration(now, "port died"));
+                        actions.extend(self.trigger_reconfiguration(now, ReconfigCause::PortDied));
                     }
                 }
                 _ => {}
@@ -250,20 +301,46 @@ impl Autopilot {
                     *responder_port,
                 );
                 match ev {
-                    Some(ConnectivityEvent::BecameGood(n)) => {
+                    Some(ConnectivityEvent::BecameGood(_)) => {
                         self.log.log(
                             now,
                             self.log_source,
-                            format!("port {port}: neighbor {} verified", n.uid),
+                            Event::PortTransition {
+                                port,
+                                from: PortState::SwitchWho,
+                                to: PortState::SwitchGood,
+                                cause: TransitionCause::NeighborVerified,
+                            },
                         );
-                        actions.extend(self.trigger_reconfiguration(now, "new neighbor"));
+                        self.log.log(
+                            now,
+                            self.log_source,
+                            Event::SkepticDecision {
+                                port,
+                                skeptic: SkepticKind::Connectivity,
+                                verdict: SkepticVerdict::Release,
+                                hold: self.monitors[port as usize].required_hold(),
+                            },
+                        );
+                        actions
+                            .extend(self.trigger_reconfiguration(now, ReconfigCause::NewNeighbor));
                     }
                     Some(ConnectivityEvent::LostGood) => {
-                        actions.extend(self.trigger_reconfiguration(now, "neighbor lost"));
+                        self.log_connectivity_demotion(now, port);
+                        actions
+                            .extend(self.trigger_reconfiguration(now, ReconfigCause::NeighborLost));
                     }
                     Some(ConnectivityEvent::BecameLoop) => {
-                        self.log
-                            .log(now, self.log_source, format!("port {port}: looped link"));
+                        self.log.log(
+                            now,
+                            self.log_source,
+                            Event::PortTransition {
+                                port,
+                                from: PortState::SwitchWho,
+                                to: PortState::SwitchLoop,
+                                cause: TransitionCause::LoopDetected,
+                            },
+                        );
                     }
                     None => {}
                 }
@@ -309,9 +386,8 @@ impl Autopilot {
                 });
             }
             if let Some(ConnectivityEvent::LostGood) = ev {
-                self.log
-                    .log(now, self.log_source, format!("port {p}: probe timeout"));
-                actions.extend(self.trigger_reconfiguration(now, "probe timeout"));
+                self.log_connectivity_demotion(now, p as PortIndex);
+                actions.extend(self.trigger_reconfiguration(now, ReconfigCause::ProbeTimeout));
             }
         }
         let outs = self.engine.on_tick(now);
@@ -319,17 +395,42 @@ impl Autopilot {
         actions
     }
 
+    /// Logs a verified switch port falling back to `s.switch.who`, with
+    /// the connectivity skeptic's raised hold.
+    fn log_connectivity_demotion(&mut self, now: SimTime, port: PortIndex) {
+        self.log.log(
+            now,
+            self.log_source,
+            Event::PortTransition {
+                port,
+                from: PortState::SwitchGood,
+                to: self.monitors[port as usize].state(),
+                cause: TransitionCause::Relapse,
+            },
+        );
+        self.log.log(
+            now,
+            self.log_source,
+            Event::SkepticDecision {
+                port,
+                skeptic: SkepticKind::Connectivity,
+                verdict: SkepticVerdict::Hold,
+                hold: self.monitors[port as usize].required_hold(),
+            },
+        );
+    }
+
     /// Starts a new epoch over the currently verified neighbor set.
-    fn trigger_reconfiguration(&mut self, now: SimTime, reason: &str) -> Vec<Action> {
+    fn trigger_reconfiguration(&mut self, now: SimTime, cause: ReconfigCause) -> Vec<Action> {
         self.reconfigs_triggered += 1;
-        self.log
-            .log(now, self.log_source, format!("reconfiguration: {reason}"));
+        self.pending_cause = Some(cause);
         let neighbors = self.good_ports();
         let hosts = self.host_ports();
         let proposed = self.proposed_number;
         let outs = self.engine.start(now, neighbors, proposed, hosts);
         let mut actions = Vec::new();
         self.apply_engine_outputs(now, outs, &mut actions);
+        self.pending_cause = None;
         actions
     }
 
@@ -345,54 +446,98 @@ impl Autopilot {
                 ReconfigOutput::ClearTable => {
                     if self.open {
                         self.open = false;
+                        self.log.log(
+                            now,
+                            self.log_source,
+                            Event::NetworkClosed {
+                                epoch: self.engine.epoch(),
+                            },
+                        );
                         actions.push(Action::NetworkClosed);
                     }
                     let mut table = ForwardingTable::new();
                     program_one_hop(&mut table);
+                    self.log.log(
+                        now,
+                        self.log_source,
+                        Event::TableInstalled {
+                            epoch: self.engine.epoch(),
+                            table: table.clone(),
+                        },
+                    );
                     actions.push(Action::LoadTable(table));
                 }
                 ReconfigOutput::Completed(global) => {
                     if let Some(num) = global.number_of(self.uid) {
                         self.proposed_number = num;
                     }
+                    self.reload_table(now, actions);
+                    self.open = true;
                     self.log.log(
                         now,
                         self.log_source,
-                        format!(
-                            "epoch {} complete: {} switches, root {}",
-                            global.epoch,
-                            global.switches.len(),
-                            global.root
-                        ),
+                        Event::NetworkOpened {
+                            epoch: global.epoch,
+                        },
                     );
-                    self.reload_table(actions);
-                    self.open = true;
                     actions.push(Action::NetworkOpen {
                         epoch: global.epoch,
                     });
                 }
-                ReconfigOutput::Event(_) => {}
+                ReconfigOutput::Event(ReconfigEvent::Started(epoch)) => {
+                    self.log.log(
+                        now,
+                        self.log_source,
+                        Event::ReconfigTriggered {
+                            epoch,
+                            // A locally detected cause if we started this
+                            // epoch; otherwise we are joining a neighbor's.
+                            cause: self.pending_cause.unwrap_or(ReconfigCause::EpochMessage),
+                        },
+                    );
+                }
+                ReconfigOutput::Event(ReconfigEvent::RootTerminated(epoch)) => {
+                    self.log
+                        .log(now, self.log_source, Event::TreeStable { epoch });
+                }
+                ReconfigOutput::Event(ReconfigEvent::AddressesAssigned(epoch, switches)) => {
+                    self.log.log(
+                        now,
+                        self.log_source,
+                        Event::AddressesAssigned { epoch, switches },
+                    );
+                }
             }
         }
     }
 
     /// Rebuilds and loads the forwarding table from the current topology
     /// and the live host-port set.
-    fn reload_table(&mut self, actions: &mut Vec<Action>) {
+    fn reload_table(&mut self, now: SimTime, actions: &mut Vec<Action>) {
         let Some(global) = self.engine.global().cloned() else {
             return;
         };
         let hosts = self.host_ports();
         if let Some(table) = compute_forwarding_table(&global, self.uid, &hosts, RouteKind::UpDown)
         {
+            self.log.log(
+                now,
+                self.log_source,
+                Event::TableInstalled {
+                    epoch: global.epoch,
+                    table: table.clone(),
+                },
+            );
             actions.push(Action::LoadTable(table));
         } else {
             // A malformed topology (timeout-baseline failure mode): leave
             // the cleared table in place rather than load garbage routes.
             self.log.log(
-                autonet_sim::SimTime::ZERO,
+                now,
                 self.log_source,
-                "unroutable topology; keeping cleared table",
+                Event::UnroutableTopology {
+                    epoch: global.epoch,
+                },
             );
         }
     }

@@ -99,6 +99,12 @@ impl ConnectivityMonitor {
         self.active
     }
 
+    /// The error-free good-response period the connectivity skeptic
+    /// currently requires before it will promote this port (§6.5.5).
+    pub fn required_hold(&self) -> autonet_sim::SimDuration {
+        self.skeptic.required_hold()
+    }
+
     /// The sampler approved the port (`s.checking` → `s.switch.who`).
     pub fn activate(&mut self) {
         self.active = true;

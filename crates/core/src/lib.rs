@@ -32,6 +32,7 @@ mod addressing;
 mod autopilot;
 mod connectivity;
 mod epoch;
+pub mod events;
 mod messages;
 mod params;
 mod port_state;
@@ -46,6 +47,7 @@ pub use addressing::assign_switch_numbers;
 pub use autopilot::{Action, Autopilot, PortHardwareReport};
 pub use connectivity::{ConnectivityEvent, ConnectivityMonitor, NeighborId};
 pub use epoch::Epoch;
+pub use events::{Event, ReconfigCause, SkepticKind, SkepticVerdict, TransitionCause};
 pub use messages::{ControlMsg, MsgCodecError, SrpPayload};
 pub use params::{AutopilotParams, TerminationMode};
 pub use port_state::PortState;

@@ -79,6 +79,9 @@ pub enum ReconfigEvent {
     Started(Epoch),
     /// This switch, believing itself root, detected termination.
     RootTerminated(Epoch),
+    /// The root assigned short-address switch numbers to the completed
+    /// tree (the count is how many switches were numbered).
+    AddressesAssigned(Epoch, u32),
 }
 
 /// Per-neighbor protocol state within one epoch.
@@ -681,6 +684,10 @@ impl ReconfigEngine {
                 TerminationMode::RootQuiescence(_) => self.build_report_lenient(),
             };
             let numbers = assign_switch_numbers(&report.switches);
+            out.push(ReconfigOutput::Event(ReconfigEvent::AddressesAssigned(
+                self.epoch,
+                numbers.len() as u32,
+            )));
             let global = GlobalTopology {
                 epoch: self.epoch,
                 root: self.uid,

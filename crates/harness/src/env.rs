@@ -1,6 +1,6 @@
 //! The substrate contract an Autopilot runs over.
 
-use autonet_core::{ControlMsg, Epoch};
+use autonet_core::{ControlMsg, Epoch, Event};
 use autonet_sim::SimTime;
 use autonet_switch::{ForwardingTable, LinkUnitStatus};
 use autonet_wire::PortIndex;
@@ -41,4 +41,11 @@ pub trait Environment {
 
     /// Host traffic stopped: a reconfiguration began.
     fn network_closed(&mut self, _now: SimTime) {}
+
+    /// One typed event from this node's Autopilot trace ring, forwarded
+    /// by the harness right after the entry point that produced it.
+    /// Backends that maintain a network-wide event spine (see
+    /// `autonet-trace`) append it there with the node attributed; the
+    /// default drops it.
+    fn trace(&mut self, _time: SimTime, _event: &Event) {}
 }

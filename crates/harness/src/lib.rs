@@ -25,12 +25,10 @@
 
 mod env;
 mod node;
-mod obs;
 mod stats;
 
 pub use env::Environment;
 pub use node::NodeHarness;
-pub use obs::{ControlEvent, ControlLog, ControlRecord};
 pub use stats::NetStats;
 
 use autonet_core::ControlMsg;

@@ -19,6 +19,10 @@ pub struct NodeHarness {
     ap: Autopilot,
     next_tick: SimTime,
     next_sample: SimTime,
+    /// How many trace-ring entries have already been forwarded to the
+    /// environment (the ring wraps; this cursor counts appends, so the
+    /// flush after each entry point never misses or repeats an event).
+    trace_cursor: u64,
 }
 
 impl NodeHarness {
@@ -28,6 +32,7 @@ impl NodeHarness {
             ap,
             next_tick: SimTime::ZERO,
             next_sample: SimTime::ZERO,
+            trace_cursor: 0,
         }
     }
 
@@ -146,7 +151,8 @@ impl NodeHarness {
     }
 
     /// Executes a batch of Autopilot actions against the environment —
-    /// the single translation point both simulation backends share.
+    /// the single translation point both simulation backends share —
+    /// then forwards any typed events the entry point traced.
     fn execute<E: Environment>(&mut self, now: SimTime, actions: Vec<Action>, env: &mut E) {
         for action in actions {
             match action {
@@ -156,13 +162,17 @@ impl NodeHarness {
                 Action::NetworkClosed => env.network_closed(now),
             }
         }
+        for entry in self.ap.log.entries_since(self.trace_cursor) {
+            env.trace(entry.time, &entry.event);
+        }
+        self.trace_cursor = self.ap.log.appended();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autonet_core::{AutopilotParams, Epoch};
+    use autonet_core::{AutopilotParams, Epoch, Event};
     use autonet_switch::ForwardingTable;
     use autonet_wire::Uid;
 
@@ -175,6 +185,7 @@ mod tests {
         closed: usize,
         dead: Vec<(PortIndex, bool)>,
         status: LinkUnitStatus,
+        traced: Vec<(SimTime, Event)>,
     }
 
     impl Environment for Recorder {
@@ -201,6 +212,10 @@ mod tests {
         fn network_closed(&mut self, _now: SimTime) {
             self.closed += 1;
         }
+
+        fn trace(&mut self, time: SimTime, event: &Event) {
+            self.traced.push((time, event.clone()));
+        }
     }
 
     fn harness() -> NodeHarness {
@@ -219,6 +234,26 @@ mod tests {
         assert!(h.autopilot().is_open());
         assert_eq!(h.next_tick(), t0 + h.tick_period());
         assert_eq!(h.next_sample(), t0 + h.sample_period());
+    }
+
+    #[test]
+    fn trace_events_flow_through_the_environment_hook() {
+        let mut h = harness();
+        let mut env = Recorder::default();
+        h.boot(SimTime::from_millis(3), &mut env);
+        // A lone switch boots, closes, numbers itself, installs a table
+        // and reopens — all visible as typed events, exactly once each.
+        let kinds: Vec<&str> = env.traced.iter().map(|(_, e)| e.kind()).collect();
+        assert!(kinds.contains(&"boot"), "{kinds:?}");
+        assert!(kinds.contains(&"reconfig-triggered"), "{kinds:?}");
+        assert!(kinds.contains(&"network-opened"), "{kinds:?}");
+        let before = env.traced.len();
+        // The cursor advances: re-polling without new work repeats nothing.
+        h.poll(
+            SimTime::from_millis(3) + SimDuration::from_nanos(1),
+            &mut env,
+        );
+        assert_eq!(env.traced.len(), before);
     }
 
     #[test]

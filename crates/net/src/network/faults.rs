@@ -34,7 +34,13 @@ impl NetWorld {
         sched: &mut Scheduler<'_, Event>,
     ) {
         let uid = self.topo.switch(SwitchId(s)).uid;
-        self.switches[s] = SwitchSim::new(uid, self.params.autopilot, s as u32, now);
+        self.switches[s] = SwitchSim::new(
+            uid,
+            self.params.autopilot,
+            s as u32,
+            now,
+            self.params.tracing,
+        );
         self.log_event(now, NetEventKind::Fault(format!("switch {s} up")));
         sched.after(SimDuration::ZERO, Event::SwitchBoot { s });
     }

@@ -35,11 +35,8 @@ pub use events::{DeliveryRecord, NetEvent, NetEventKind};
 /// [`NetStats`].
 pub type NetworkStats = NetStats;
 
-use autonet_core::{compute_forwarding_table, RouteKind};
 use autonet_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulator, World};
-use autonet_switch::ForwardingTable;
 use autonet_topo::Topology;
-use autonet_wire::Uid;
 
 use crate::params::NetParams;
 use host_node::HostSim;
@@ -63,8 +60,9 @@ pub struct NetWorld {
     host_link_busy: Vec<[[SimTime; 2]; 2]>,
     events: Vec<NetEvent>,
     deliveries: Vec<DeliveryRecord>,
-    /// Every table install and open/close, for online invariant checkers.
-    control: autonet_harness::ControlLog,
+    /// The network-wide typed event spine: every Autopilot trace event,
+    /// node-attributed, for online invariant checkers and trace exports.
+    trace: autonet_trace::EventLog,
     stats: NetStats,
     /// Randomness for loss injection (seeded; deterministic).
     rng: SimRng,
@@ -88,6 +86,7 @@ impl Network {
                     params.autopilot,
                     s.0 as u32,
                     SimTime::ZERO,
+                    params.tracing,
                 )
             })
             .collect();
@@ -112,7 +111,7 @@ impl Network {
             hosts,
             events: Vec::new(),
             deliveries: Vec::new(),
-            control: autonet_harness::ControlLog::new(),
+            trace: autonet_trace::EventLog::new(),
             stats: NetStats::default(),
             rng: rng.fork(1),
             topo,
@@ -151,10 +150,11 @@ impl Network {
         &self.sim.world().deliveries
     }
 
-    /// The undrained control-plane observations (table installs and
-    /// open/close transitions; see [`autonet_harness::ControlLog`]).
-    pub fn control_log(&self) -> &autonet_harness::ControlLog {
-        &self.sim.world().control
+    /// The undrained typed event spine (see [`autonet_trace::EventLog`]):
+    /// every port transition, skeptic decision, table install and
+    /// open/close, node-attributed and timestamped.
+    pub fn trace_log(&self) -> &autonet_trace::EventLog {
+        &self.sim.world().trace
     }
 
     /// Whether trunk link `l` is physically up right now (fault schedules
@@ -168,10 +168,10 @@ impl Network {
         self.sim.world().switches[s.0].up
     }
 
-    /// Drains the control-plane observations accumulated since the last
-    /// drain — the scenario engine's online-checking hook.
-    pub fn drain_control_records(&mut self) -> Vec<autonet_harness::ControlRecord> {
-        self.sim.world_mut().control.drain()
+    /// Drains the typed event spine accumulated since the last drain —
+    /// the scenario engine's online-checking hook.
+    pub fn drain_trace_records(&mut self) -> Vec<autonet_trace::TraceRecord> {
+        self.sim.world_mut().trace.drain()
     }
 
     /// Runs for a span of virtual time.
@@ -234,11 +234,4 @@ impl World for NetWorld {
             Event::HostLinkUp { h, which } => self.on_host_link_up(now, h, which),
         }
     }
-}
-
-/// Reference to ensure the route computation used here stays in sync with
-/// what Autopilot loads (compile-time use of the shared function).
-#[allow(dead_code)]
-fn _table_type_check(g: &autonet_core::GlobalTopology, uid: Uid) -> Option<ForwardingTable> {
-    compute_forwarding_table(g, uid, &[], RouteKind::UpDown)
 }

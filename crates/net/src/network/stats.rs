@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use autonet_core::{global_from_view, Epoch, GlobalTopology};
+use autonet_core::{global_from_view, Epoch, Event, GlobalTopology};
 use autonet_harness::NetStats;
 use autonet_sim::{TraceEntry, TraceLog};
 use autonet_topo::SwitchId;
@@ -156,8 +156,8 @@ impl Network {
 
     /// Merges every switch's circular trace log into one time-ordered
     /// history — the paper's primary debugging tool (§6.7).
-    pub fn merged_trace(&self) -> Vec<TraceEntry> {
-        let logs: Vec<&TraceLog> = self
+    pub fn merged_trace(&self) -> Vec<TraceEntry<Event>> {
+        let logs: Vec<&TraceLog<Event>> = self
             .sim
             .world()
             .switches

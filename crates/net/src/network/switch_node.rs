@@ -6,7 +6,7 @@
 //! handlers that decide *when* the harness entry points run.
 
 use autonet_core::{Autopilot, AutopilotParams, ControlMsg, Epoch, PortState, SrpPayload};
-use autonet_harness::{control_packet, ControlEvent, Environment, NodeHarness};
+use autonet_harness::{control_packet, Environment, NodeHarness};
 use autonet_sim::{Scheduler, SimTime};
 use autonet_switch::{ForwardingTable, LinkUnitStatus};
 use autonet_topo::SwitchId;
@@ -38,9 +38,12 @@ impl SwitchSim {
         params: AutopilotParams,
         number_hint: u32,
         cpu_free: SimTime,
+        tracing: bool,
     ) -> Self {
+        let mut ap = Autopilot::new(uid, params, number_hint);
+        ap.set_tracing(tracing);
         SwitchSim {
-            harness: Some(NodeHarness::new(Autopilot::new(uid, params, number_hint))),
+            harness: Some(NodeHarness::new(ap)),
             table: ForwardingTable::new(),
             cpu_free,
             up: true,
@@ -79,10 +82,7 @@ impl Environment for PacketEnv<'_, '_> {
             .transmit_from_switch(now, self.s, port, packet, self.sched);
     }
 
-    fn load_table(&mut self, now: SimTime, table: ForwardingTable) {
-        self.w
-            .control
-            .push(now, self.s, ControlEvent::TableInstalled(table.clone()));
+    fn load_table(&mut self, _now: SimTime, table: ForwardingTable) {
         self.w.switches[self.s].table = table;
     }
 
@@ -97,17 +97,17 @@ impl Environment for PacketEnv<'_, '_> {
     fn network_opened(&mut self, now: SimTime, epoch: Epoch) {
         self.w.stats.note_open(now);
         self.w
-            .control
-            .push(now, self.s, ControlEvent::Opened(epoch));
-        self.w
             .log_event(now, NetEventKind::SwitchOpened(SwitchId(self.s), epoch));
     }
 
     fn network_closed(&mut self, now: SimTime) {
         self.w.stats.note_close(now);
-        self.w.control.push(now, self.s, ControlEvent::Closed);
         self.w
             .log_event(now, NetEventKind::SwitchClosed(SwitchId(self.s)));
+    }
+
+    fn trace(&mut self, time: SimTime, event: &autonet_core::Event) {
+        self.w.trace.record(time, self.s, event.clone());
     }
 }
 

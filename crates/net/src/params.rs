@@ -78,6 +78,10 @@ pub struct NetParams {
     /// marginal links). The protocols recover by retransmission; used by
     /// the loss-robustness ablation.
     pub control_loss_rate: f64,
+    /// Whether switches record typed trace events (the `autonet-trace`
+    /// spine). On by default; benchmarks turn it off to measure the
+    /// tracing-disabled fast path, which allocates no trace storage.
+    pub tracing: bool,
 }
 
 impl NetParams {
@@ -93,6 +97,7 @@ impl NetParams {
             cpu_backlog_cap: SimDuration::from_millis(250),
             reflect_detect_delay: SimDuration::from_millis(40),
             control_loss_rate: 0.0,
+            tracing: true,
         }
     }
 

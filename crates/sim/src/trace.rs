@@ -6,26 +6,32 @@
 //! the same facility for the simulation: every component can append
 //! timestamped entries, and an experiment can merge the logs of all nodes
 //! into one global history.
+//!
+//! The log is generic over the entry payload `E`. Layers above the kernel
+//! log *typed* events (see `autonet-core`'s event taxonomy); plain strings
+//! remain the default payload for ad-hoc instrumentation, and any payload
+//! implementing [`Display`](fmt::Display) keeps the human-readable merged
+//! view.
 
 use std::collections::VecDeque;
 use std::fmt;
 
 use crate::time::SimTime;
 
-/// One timestamped log entry.
+/// One timestamped log entry carrying a payload of type `E`.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct TraceEntry {
+pub struct TraceEntry<E = String> {
     /// When the entry was logged.
     pub time: SimTime,
     /// Which component logged it (e.g. a switch index).
     pub source: u32,
-    /// The message text.
-    pub message: String,
+    /// The logged payload: a typed event, or a plain message string.
+    pub event: E,
 }
 
-impl fmt::Display for TraceEntry {
+impl<E: fmt::Display> fmt::Display for TraceEntry<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] #{}: {}", self.time, self.source, self.message)
+        write!(f, "[{}] #{}: {}", self.time, self.source, self.event)
     }
 }
 
@@ -34,25 +40,33 @@ impl fmt::Display for TraceEntry {
 /// When full, the oldest entries are dropped, exactly like the fixed-size
 /// circular log in a real switch's control-processor memory.
 #[derive(Clone, Debug)]
-pub struct TraceLog {
-    entries: VecDeque<TraceEntry>,
+pub struct TraceLog<E = String> {
+    entries: VecDeque<TraceEntry<E>>,
     capacity: usize,
     dropped: u64,
+    appended: u64,
     enabled: bool,
 }
 
-impl TraceLog {
+impl<E> TraceLog<E> {
     /// Creates a log that retains at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         TraceLog {
-            entries: VecDeque::with_capacity(capacity.min(4096)),
+            // The full ring is reserved up front: `capacity` is the
+            // retention bound, so the ring must actually hold that many
+            // entries before wrapping (an earlier version capped this
+            // allocation at 4096, which read as capping retention too).
+            entries: VecDeque::with_capacity(capacity),
             capacity,
             dropped: 0,
+            appended: 0,
             enabled: true,
         }
     }
 
-    /// Creates a log that records nothing (for performance runs).
+    /// Creates a log that records nothing (for performance runs). No
+    /// buffer is allocated; [`log`](TraceLog::log) is a branch and a
+    /// return.
     pub fn disabled() -> Self {
         let mut log = TraceLog::new(0);
         log.enabled = false;
@@ -70,7 +84,7 @@ impl TraceLog {
     }
 
     /// Appends an entry, evicting the oldest if at capacity.
-    pub fn log(&mut self, time: SimTime, source: u32, message: impl Into<String>) {
+    pub fn log(&mut self, time: SimTime, source: u32, event: impl Into<E>) {
         if !self.enabled || self.capacity == 0 {
             return;
         }
@@ -81,13 +95,31 @@ impl TraceLog {
         self.entries.push_back(TraceEntry {
             time,
             source,
-            message: message.into(),
+            event: event.into(),
         });
+        self.appended += 1;
     }
 
     /// Returns the retained entries, oldest first.
-    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry<E>> {
         self.entries.iter()
+    }
+
+    /// Total entries ever appended (retained + evicted). Monotonic, so it
+    /// serves as a cursor for incremental consumers: remember the value,
+    /// and later fetch everything newer with
+    /// [`entries_since`](TraceLog::entries_since).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Returns the entries appended after the `cursor` obtained from
+    /// [`appended`](TraceLog::appended), oldest first. Entries already
+    /// evicted by wraparound are silently unavailable.
+    pub fn entries_since(&self, cursor: u64) -> impl Iterator<Item = &TraceEntry<E>> {
+        let fresh = (self.appended - cursor.min(self.appended)) as usize;
+        let start = self.entries.len().saturating_sub(fresh);
+        self.entries.range(start..)
     }
 
     /// Returns the number of retained entries.
@@ -114,8 +146,11 @@ impl TraceLog {
     ///
     /// Ties are broken by source id and then by each log's internal order,
     /// mirroring the timestamp-normalized merged log described in §6.7.
-    pub fn merge<'a>(logs: impl IntoIterator<Item = &'a TraceLog>) -> Vec<TraceEntry> {
-        let mut all: Vec<TraceEntry> = logs
+    pub fn merge<'a>(logs: impl IntoIterator<Item = &'a TraceLog<E>>) -> Vec<TraceEntry<E>>
+    where
+        E: Clone + 'a,
+    {
+        let mut all: Vec<TraceEntry<E>> = logs
             .into_iter()
             .flat_map(|l| l.entries.iter().cloned())
             .collect();
@@ -130,44 +165,85 @@ mod tests {
 
     #[test]
     fn records_and_orders_entries() {
-        let mut log = TraceLog::new(8);
+        let mut log = TraceLog::<String>::new(8);
         log.log(SimTime::from_nanos(1), 0, "boot");
         log.log(SimTime::from_nanos(2), 0, "probe");
         assert_eq!(log.len(), 2);
-        let texts: Vec<_> = log.entries().map(|e| e.message.as_str()).collect();
+        let texts: Vec<_> = log.entries().map(|e| e.event.as_str()).collect();
         assert_eq!(texts, vec!["boot", "probe"]);
     }
 
     #[test]
     fn wraps_when_full() {
-        let mut log = TraceLog::new(3);
+        let mut log = TraceLog::<String>::new(3);
         for i in 0..5u64 {
             log.log(SimTime::from_nanos(i), 0, format!("e{i}"));
         }
         assert_eq!(log.len(), 3);
         assert_eq!(log.dropped(), 2);
-        let texts: Vec<_> = log.entries().map(|e| e.message.as_str()).collect();
+        let texts: Vec<_> = log.entries().map(|e| e.event.as_str()).collect();
         assert_eq!(texts, vec!["e2", "e3", "e4"]);
     }
 
     #[test]
-    fn disabled_log_records_nothing() {
-        let mut log = TraceLog::disabled();
+    fn large_capacity_retains_full_ring() {
+        // Regression: the ring must retain `capacity` entries even past
+        // the old 4096 pre-allocation cap. Fill an 8192-entry ring past
+        // wraparound and check both retention and eviction accounting.
+        let cap = 8192usize;
+        let mut log = TraceLog::<String>::new(cap);
+        for i in 0..(cap as u64 + 100) {
+            log.log(SimTime::from_nanos(i), 0, format!("e{i}"));
+        }
+        assert_eq!(log.len(), cap);
+        assert_eq!(log.dropped(), 100);
+        assert_eq!(log.appended(), cap as u64 + 100);
+        let first = log.entries().next().unwrap();
+        assert_eq!(first.event, "e100");
+        let last = log.entries().last().unwrap();
+        assert_eq!(last.event, format!("e{}", cap + 99));
+    }
+
+    #[test]
+    fn disabled_log_records_nothing_and_allocates_nothing() {
+        let mut log = TraceLog::<String>::disabled();
         log.log(SimTime::ZERO, 0, "x");
         assert!(log.is_empty());
         assert!(!log.is_enabled());
+        assert_eq!(log.appended(), 0);
+        assert_eq!(log.entries.capacity(), 0);
+    }
+
+    #[test]
+    fn entries_since_cursor() {
+        let mut log = TraceLog::<String>::new(3);
+        log.log(SimTime::from_nanos(1), 0, "a");
+        let cursor = log.appended();
+        assert_eq!(cursor, 1);
+        log.log(SimTime::from_nanos(2), 0, "b");
+        log.log(SimTime::from_nanos(3), 0, "c");
+        let fresh: Vec<_> = log.entries_since(cursor).map(|e| e.event.clone()).collect();
+        assert_eq!(fresh, vec!["b", "c"]);
+        // Wraparound past the cursor: evicted entries are unavailable, the
+        // retained tail still comes back.
+        log.log(SimTime::from_nanos(4), 0, "d");
+        log.log(SimTime::from_nanos(5), 0, "e");
+        let fresh: Vec<_> = log.entries_since(cursor).map(|e| e.event.clone()).collect();
+        assert_eq!(fresh, vec!["c", "d", "e"]);
+        // A fully caught-up cursor yields nothing.
+        assert_eq!(log.entries_since(log.appended()).count(), 0);
     }
 
     #[test]
     fn merge_orders_across_sources() {
-        let mut a = TraceLog::new(8);
-        let mut b = TraceLog::new(8);
+        let mut a = TraceLog::<String>::new(8);
+        let mut b = TraceLog::<String>::new(8);
         a.log(SimTime::from_nanos(10), 1, "a1");
         b.log(SimTime::from_nanos(5), 2, "b1");
         a.log(SimTime::from_nanos(20), 1, "a2");
         b.log(SimTime::from_nanos(20), 2, "b2");
         let merged = TraceLog::merge([&a, &b]);
-        let texts: Vec<_> = merged.iter().map(|e| e.message.as_str()).collect();
+        let texts: Vec<_> = merged.iter().map(|e| e.event.as_str()).collect();
         assert_eq!(texts, vec!["b1", "a1", "a2", "b2"]);
     }
 
@@ -176,7 +252,7 @@ mod tests {
         let e = TraceEntry {
             time: SimTime::from_micros(3),
             source: 7,
-            message: "hello".into(),
+            event: "hello".to_string(),
         };
         assert_eq!(e.to_string(), "[3.000us] #7: hello");
     }

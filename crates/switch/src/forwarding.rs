@@ -86,7 +86,7 @@ impl ForwardingEntry {
 /// // Unprogrammed indices discard.
 /// assert!(table.lookup(2, ShortAddress::assigned(7, 9)).is_discard());
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ForwardingTable {
     entries: HashMap<(PortIndex, u16), ForwardingEntry>,
     prefixes: HashMap<(PortIndex, SwitchNumber), ForwardingEntry>,
@@ -192,6 +192,48 @@ impl ForwardingTable {
     ) -> impl Iterator<Item = ((PortIndex, SwitchNumber), ForwardingEntry)> + '_ {
         self.prefixes.iter().map(|(&(p, n), &e)| ((p, n), e))
     }
+
+    /// A canonical 64-bit digest of the programmed contents.
+    ///
+    /// The internal maps iterate in arbitrary order, so anything that
+    /// needs a *stable* fingerprint (trace exports, cross-backend
+    /// comparisons, golden files) must not hash the iteration order. This
+    /// sorts both index spaces and runs FNV-1a over the sorted bytes:
+    /// equal tables always produce equal digests, on any platform.
+    pub fn canonical_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut exact: Vec<((PortIndex, u16), ForwardingEntry)> =
+            self.entries.iter().map(|(&k, &e)| (k, e)).collect();
+        exact.sort_unstable_by_key(|&(k, _)| k);
+        let mut runs: Vec<((PortIndex, SwitchNumber), ForwardingEntry)> =
+            self.prefixes.iter().map(|(&k, &e)| (k, e)).collect();
+        runs.sort_unstable_by_key(|&(k, _)| k);
+        let mut h = FNV_OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for ((port, dst), e) in exact {
+            eat(0); // section tag: exact entries
+            eat(port);
+            eat((dst >> 8) as u8);
+            eat(dst as u8);
+            eat((e.ports.bits() >> 8) as u8);
+            eat(e.ports.bits() as u8);
+            eat(u8::from(e.broadcast));
+        }
+        for ((port, num), e) in runs {
+            eat(1); // section tag: prefix runs
+            eat(port);
+            eat((num >> 8) as u8);
+            eat(num as u8);
+            eat((e.ports.bits() >> 8) as u8);
+            eat(e.ports.bits() as u8);
+            eat(u8::from(e.broadcast));
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +309,41 @@ mod tests {
         assert!(got.broadcast);
         assert_eq!(got.ports.len(), 3);
         assert!(!got.is_discard());
+    }
+
+    #[test]
+    fn canonical_digest_is_order_independent() {
+        // Build the same table twice with insertions in opposite orders;
+        // the HashMap internals will differ, the digest must not.
+        let mut a = ForwardingTable::new();
+        let mut b = ForwardingTable::new();
+        let entries = [
+            (1u8, 0x0100u16, PortSet::from_ports([2, 5])),
+            (2, 0x0200, PortSet::single(7)),
+            (3, 0x0300, PortSet::from_ports([1, 4, 9])),
+        ];
+        for &(p, d, ports) in &entries {
+            a.set(p, sa(d), ForwardingEntry::alternatives(ports));
+            a.set_switch_prefix(p, d >> 8, ForwardingEntry::alternatives(ports));
+        }
+        for &(p, d, ports) in entries.iter().rev() {
+            b.set_switch_prefix(p, d >> 8, ForwardingEntry::alternatives(ports));
+            b.set(p, sa(d), ForwardingEntry::alternatives(ports));
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_digest(), b.canonical_digest());
+        // Any content change moves the digest.
+        b.set(
+            1,
+            sa(0x0100),
+            ForwardingEntry::alternatives(PortSet::single(2)),
+        );
+        assert_ne!(a.canonical_digest(), b.canonical_digest());
+        // Empty tables have a digest too (the FNV offset basis).
+        assert_eq!(
+            ForwardingTable::new().canonical_digest(),
+            ForwardingTable::default().canonical_digest()
+        );
     }
 
     #[test]

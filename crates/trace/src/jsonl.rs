@@ -1,0 +1,170 @@
+//! Canonical JSONL serialization of the event spine.
+//!
+//! Hand-rolled on purpose: no dependencies, a fixed field order per event
+//! kind, and sorted record order ([`merge_sorted`]) — so two runs of the
+//! same seeded scenario produce byte-identical output, and golden-trace
+//! tests can assert exact equality. Forwarding tables are serialized as
+//! their entry count plus [`canonical_digest`], which is itself
+//! iteration-order independent.
+//!
+//! [`canonical_digest`]: autonet_switch::ForwardingTable::canonical_digest
+
+use std::fmt::Write;
+
+use autonet_core::Event;
+
+use crate::{merge_sorted, TraceRecord};
+
+/// Serializes records as canonical JSONL: one JSON object per line,
+/// sorted by `(time, node)`, fixed key order, `\n` after every line.
+pub fn to_jsonl(records: &[TraceRecord]) -> String {
+    let sorted = merge_sorted(records);
+    let mut out = String::new();
+    for rec in &sorted {
+        let mut line = String::new();
+        write!(
+            line,
+            "{{\"time\":{},\"node\":{},\"event\":\"{}\"",
+            rec.time.as_nanos(),
+            rec.node,
+            rec.event.kind()
+        )
+        .expect("writing to a String cannot fail");
+        match &rec.event {
+            Event::Boot { uid } => {
+                write!(line, ",\"uid\":{}", uid.as_u64()).unwrap();
+            }
+            Event::PortTransition {
+                port,
+                from,
+                to,
+                cause,
+            } => {
+                write!(
+                    line,
+                    ",\"port\":{port},\"from\":\"{from}\",\"to\":\"{to}\",\"cause\":\"{}\"",
+                    cause.tag()
+                )
+                .unwrap();
+            }
+            Event::SkepticDecision {
+                port,
+                skeptic,
+                verdict,
+                hold,
+            } => {
+                write!(
+                    line,
+                    ",\"port\":{port},\"skeptic\":\"{}\",\"verdict\":\"{}\",\"hold_ns\":{}",
+                    skeptic.tag(),
+                    verdict.tag(),
+                    hold.as_nanos()
+                )
+                .unwrap();
+            }
+            Event::ReconfigTriggered { epoch, cause } => {
+                write!(line, ",\"epoch\":{},\"cause\":\"{}\"", epoch.0, cause.tag()).unwrap();
+            }
+            Event::NetworkClosed { epoch } => {
+                write!(line, ",\"epoch\":{}", epoch.0).unwrap();
+            }
+            Event::TreeStable { epoch } => {
+                write!(line, ",\"epoch\":{}", epoch.0).unwrap();
+            }
+            Event::AddressesAssigned { epoch, switches } => {
+                write!(line, ",\"epoch\":{},\"switches\":{switches}", epoch.0).unwrap();
+            }
+            Event::TableInstalled { epoch, table } => {
+                write!(
+                    line,
+                    ",\"epoch\":{},\"entries\":{},\"digest\":\"{:016x}\"",
+                    epoch.0,
+                    table.len(),
+                    table.canonical_digest()
+                )
+                .unwrap();
+            }
+            Event::NetworkOpened { epoch } => {
+                write!(line, ",\"epoch\":{}", epoch.0).unwrap();
+            }
+            Event::UnroutableTopology { epoch } => {
+                write!(line, ",\"epoch\":{}", epoch.0).unwrap();
+            }
+        }
+        line.push('}');
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autonet_core::{Epoch, ReconfigCause};
+    use autonet_sim::SimTime;
+    use autonet_switch::ForwardingTable;
+    use autonet_wire::Uid;
+
+    #[test]
+    fn canonical_lines() {
+        let records = vec![
+            TraceRecord {
+                time: SimTime::from_nanos(20),
+                node: 1,
+                event: Event::NetworkOpened { epoch: Epoch(2) },
+            },
+            TraceRecord {
+                time: SimTime::from_nanos(5),
+                node: 0,
+                event: Event::Boot { uid: Uid::new(7) },
+            },
+            TraceRecord {
+                time: SimTime::from_nanos(10),
+                node: 0,
+                event: Event::ReconfigTriggered {
+                    epoch: Epoch(2),
+                    cause: ReconfigCause::Boot,
+                },
+            },
+        ];
+        let jsonl = to_jsonl(&records);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"time\":5,\"node\":0,\"event\":\"boot\",\"uid\":7}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"time\":10,\"node\":0,\"event\":\"reconfig-triggered\",\"epoch\":2,\"cause\":\"boot\"}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"time\":20,\"node\":1,\"event\":\"network-opened\",\"epoch\":2}"
+        );
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn table_digest_is_stable() {
+        let mut table = ForwardingTable::new();
+        table.set_switch_prefix(
+            1,
+            3,
+            autonet_switch::ForwardingEntry::alternatives(autonet_switch::PortSet::single(2)),
+        );
+        let rec = TraceRecord {
+            time: SimTime::ZERO,
+            node: 0,
+            event: Event::TableInstalled {
+                epoch: Epoch(1),
+                table,
+            },
+        };
+        let a = to_jsonl(std::slice::from_ref(&rec));
+        let b = to_jsonl(std::slice::from_ref(&rec));
+        assert_eq!(a, b);
+        assert!(a.contains("\"entries\":1,\"digest\":\""));
+    }
+}

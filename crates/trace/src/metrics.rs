@@ -1,0 +1,277 @@
+//! A lightweight metrics registry: counters, gauges, and mergeable time
+//! histograms, with per-epoch snapshots.
+//!
+//! Everything is keyed by `&'static str` so recording never allocates,
+//! and histogram merge is elementwise addition — associative and
+//! commutative, so per-node or per-shard registries can be combined in
+//! any grouping (property-tested in `tests/properties.rs`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use autonet_core::Epoch;
+use autonet_sim::SimDuration;
+
+/// Number of power-of-two duration buckets (covers 1 ns to ~584 years).
+const BUCKETS: usize = 64;
+
+/// A duration histogram with power-of-two buckets.
+///
+/// Bucket `i` counts durations `d` with `2^i ns <= d < 2^(i+1) ns`
+/// (bucket 0 also absorbs zero).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        let idx = if ns == 0 {
+            0
+        } else {
+            (63 - ns.leading_zeros()) as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+    }
+
+    /// Adds another histogram into this one. Elementwise, so
+    /// `a.merge(b)` then `.merge(c)` equals `b.merge(c)` then
+    /// `a.merge(that)` — associativity is what lets per-node histograms
+    /// be combined in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The arithmetic mean of recorded durations (zero when empty).
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos((self.sum_ns / u128::from(self.count)) as u64)
+    }
+
+    /// An upper bound on the `q`-quantile (0.0..=1.0): the top edge of the
+    /// bucket containing it.
+    pub fn quantile_upper_bound(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let edge = if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                return SimDuration::from_nanos(edge.saturating_sub(1));
+            }
+        }
+        SimDuration::from_nanos(u64::MAX)
+    }
+}
+
+/// A point-in-time copy of every counter and gauge.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values at snapshot time.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values at snapshot time.
+    pub gauges: BTreeMap<&'static str, i64>,
+}
+
+/// The registry: named counters, gauges and histograms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    epoch_snapshots: Vec<(Epoch, MetricsSnapshot)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `by` to the named counter.
+    pub fn count(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    /// Reads a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&mut self, name: &'static str, value: i64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Reads a gauge (zero if never set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a duration into the named histogram.
+    pub fn observe(&mut self, name: &'static str, d: SimDuration) {
+        self.histograms.entry(name).or_default().record(d);
+    }
+
+    /// Reads a histogram, if it has ever been observed into.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Captures the current counters and gauges as the snapshot for
+    /// `epoch` (appended in call order).
+    pub fn snapshot_epoch(&mut self, epoch: Epoch) {
+        let snap = MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+        };
+        self.epoch_snapshots.push((epoch, snap));
+    }
+
+    /// The per-epoch snapshots, in capture order.
+    pub fn epoch_snapshots(&self) -> &[(Epoch, MetricsSnapshot)] {
+        &self.epoch_snapshots
+    }
+
+    /// Merges another registry into this one: counters and histograms
+    /// add, gauges take the other's value, snapshots concatenate.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&k, &v) in &other.counters {
+            self.count(k, v);
+        }
+        for (&k, &v) in &other.gauges {
+            self.gauges.insert(k, v);
+        }
+        for (&k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+        self.epoch_snapshots
+            .extend(other.epoch_snapshots.iter().cloned());
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, h)| (k, h))
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "{k} = {v}")?;
+        }
+        for (k, h) in &self.histograms {
+            writeln!(
+                f,
+                "{k}: n={} mean={} p99<={}",
+                h.count(),
+                h.mean(),
+                h.quantile_upper_bound(0.99)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::new();
+        m.count("packets", 3);
+        m.count("packets", 2);
+        m.gauge_set("open", 1);
+        assert_eq!(m.counter("packets"), 5);
+        assert_eq!(m.gauge("open"), 1);
+        assert_eq!(m.counter("absent"), 0);
+        m.snapshot_epoch(Epoch(1));
+        m.count("packets", 1);
+        m.snapshot_epoch(Epoch(2));
+        let snaps = m.epoch_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].1.counters["packets"], 5);
+        assert_eq!(snaps[1].1.counters["packets"], 6);
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = Histogram::new();
+        h.record(SimDuration::from_nanos(0));
+        h.record(SimDuration::from_nanos(1));
+        h.record(SimDuration::from_millis(3));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean().as_nanos(), (3_000_000 + 1) / 3);
+        assert!(h.quantile_upper_bound(1.0) >= SimDuration::from_millis(3));
+        assert!(h.quantile_upper_bound(0.1) <= SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(SimDuration::from_micros(10));
+        b.record(SimDuration::from_micros(20));
+        b.record(SimDuration::from_micros(30));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert_eq!(merged.mean().as_nanos(), 20_000);
+    }
+
+    #[test]
+    fn registry_merge() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.count("x", 1);
+        b.count("x", 2);
+        b.observe("lat", SimDuration::from_micros(5));
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.histogram("lat").unwrap().count(), 1);
+    }
+}

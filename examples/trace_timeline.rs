@@ -1,0 +1,117 @@
+//! Timeline reconstruction demo: run a named fault scenario, merge the
+//! typed event spine, and print the per-epoch phase breakdown plus the
+//! derived metrics — the observability workflow behind EXPERIMENTS.md E20.
+//!
+//! Run with: `cargo run --example trace_timeline [scenario]`
+//!
+//! Scenarios (the same three the golden-trace tests lock down):
+//!   single_link_cut        one trunk cut on a 4-switch ring (default)
+//!   switch_crash_revive    a switch dies and later rejoins
+//!   simultaneous_failures  four link cuts within 1 ms on a 4x4 torus
+//!
+//! Plus E1's scenario from EXPERIMENTS.md (not a golden — used for the
+//! E20 phase-breakdown numbers):
+//!   src_link_cut           one trunk cut on the 30-switch SRC network
+
+use autonet::net::{NetParams, Network};
+use autonet::sim::{SimDuration, SimTime};
+use autonet::topo::{gen, LinkId, SwitchId};
+use autonet::trace::{Timeline, TraceRecord};
+
+fn single_link_cut() -> Vec<TraceRecord> {
+    let mut net = Network::new(gen::ring(4, 5), NetParams::tuned(), 1);
+    net.run_until_stable(SimTime::from_secs(60))
+        .expect("bring-up converges");
+    net.schedule_link_down(net.now() + SimDuration::from_millis(1), LinkId(0));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("heals around the cut");
+    net.trace_log().records().to_vec()
+}
+
+fn switch_crash_revive() -> Vec<TraceRecord> {
+    let mut net = Network::new(gen::ring(4, 5), NetParams::tuned(), 2);
+    net.run_until_stable(SimTime::from_secs(60))
+        .expect("bring-up converges");
+    net.schedule_switch_down(net.now() + SimDuration::from_millis(1), SwitchId(1));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("survivors reconfigure");
+    net.schedule_switch_up(net.now() + SimDuration::from_millis(1), SwitchId(1));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("revived switch rejoins");
+    net.trace_log().records().to_vec()
+}
+
+fn simultaneous_failures() -> Vec<TraceRecord> {
+    let mut net = Network::new(gen::torus(4, 4, 3), NetParams::tuned(), 3);
+    net.run_until_stable(SimTime::from_secs(60))
+        .expect("bring-up converges");
+    let t0 = net.now() + SimDuration::from_millis(1);
+    for (i, l) in [0usize, 5, 9, 14].into_iter().enumerate() {
+        net.schedule_link_down(t0 + SimDuration::from_micros(200) * i as u64, LinkId(l));
+    }
+    net.run_until_stable(net.now() + SimDuration::from_secs(120))
+        .expect("absorbs the simultaneous failures");
+    net.trace_log().records().to_vec()
+}
+
+fn src_link_cut() -> Vec<TraceRecord> {
+    let mut net = Network::new(gen::src_network(1991), NetParams::tuned(), 100);
+    net.run_until_stable(SimTime::from_secs(60))
+        .expect("bring-up converges");
+    net.schedule_link_down(net.now() + SimDuration::from_millis(1), LinkId(0));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("heals around the cut");
+    net.trace_log().records().to_vec()
+}
+
+fn main() {
+    let scenario = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "single_link_cut".to_string());
+    let records = match scenario.as_str() {
+        "single_link_cut" => single_link_cut(),
+        "switch_crash_revive" => switch_crash_revive(),
+        "simultaneous_failures" => simultaneous_failures(),
+        "src_link_cut" => src_link_cut(),
+        other => {
+            eprintln!(
+                "unknown scenario '{other}'; pick one of: \
+                 single_link_cut, switch_crash_revive, simultaneous_failures, \
+                 src_link_cut"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let tl = Timeline::build(&records);
+    println!("scenario: {scenario}");
+    println!(
+        "{} events across {} epochs\n",
+        tl.records.len(),
+        tl.epochs.len()
+    );
+
+    println!("per-epoch phase breakdown:");
+    println!("{tl}");
+
+    if let Some(r) = tl.last_complete() {
+        println!("last complete reconfiguration ({}):", r.epoch);
+        let phases = r.phases().expect("complete by construction");
+        let names = [
+            "detected",
+            "closed",
+            "tree stable",
+            "addresses assigned",
+            "first table",
+            "opened (settled)",
+        ];
+        let t0 = phases[0];
+        for (name, t) in names.iter().zip(phases) {
+            println!("  {name:<19} {t}  (+{})", t.saturating_since(t0));
+        }
+        println!();
+    }
+
+    println!("derived metrics:");
+    println!("{}", tl.metrics());
+}

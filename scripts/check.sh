@@ -14,6 +14,12 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test -q
 
+echo "==> golden traces"
+cargo test -q --test golden_traces
+
+echo "==> tracing overhead"
+cargo test -q --test determinism disabled_tracing_is_zero_cost_and_behavior_neutral
+
 echo "==> campaign corpus (release)"
 cargo test --release -q --test check_campaigns -- --ignored
 

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Run a named fault scenario and pretty-print its merged reconfiguration
+# timeline (per-epoch phase breakdown + derived metrics).
+#
+# Usage: scripts/trace.sh [scenario]
+#   single_link_cut        one trunk cut on a 4-switch ring (default)
+#   switch_crash_revive    a switch dies and later rejoins
+#   simultaneous_failures  four link cuts within 1 ms on a 4x4 torus
+#   src_link_cut           one trunk cut on the 30-switch SRC network (E1)
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo run --release --quiet --example trace_timeline "${1:-single_link_cut}"

@@ -20,6 +20,7 @@
 //! | [`autopilot`] | `autonet-core` | **the paper's contribution**: the control plane |
 //! | [`host`] | `autonet-host` | dual-port controller, LocalNet, bridge |
 //! | [`net`] | `autonet-net` | integrated network simulator + workloads |
+//! | [`trace`] | `autonet-trace` | typed event spine, metrics, timelines, JSONL |
 //!
 //! # Examples
 //!
@@ -54,6 +55,7 @@ pub use autonet_net as net;
 pub use autonet_sim as sim;
 pub use autonet_switch as switch;
 pub use autonet_topo as topo;
+pub use autonet_trace as trace;
 pub use autonet_wire as wire;
 
 /// The most commonly used types, re-exported flat.

@@ -52,6 +52,46 @@ fn different_seeds_differ_somewhere() {
     assert_ne!(e1, e3, "seeds must actually matter");
 }
 
+/// Tracing off must be free and behavior-neutral: a 16-switch run with
+/// `tracing: false` records zero trace entries anywhere (the per-switch
+/// rings are zero-capacity, the network spine stays empty) yet converges
+/// to exactly the same control-plane state as the traced run — same final
+/// epochs, same installed-table digests.
+#[test]
+fn disabled_tracing_is_zero_cost_and_behavior_neutral() {
+    let run = |tracing: bool| {
+        let params = NetParams {
+            tracing,
+            ..NetParams::tuned()
+        };
+        let mut net = Network::new(gen::torus(4, 4, 21), params, 6);
+        net.run_until_stable(SimTime::from_secs(60))
+            .expect("converges");
+        net.schedule_link_down(net.now() + SimDuration::from_millis(1), LinkId(1));
+        net.run_until_stable(net.now() + SimDuration::from_secs(60))
+            .expect("heals");
+        net
+    };
+    let on = run(true);
+    let off = run(false);
+    // Zero trace entries with tracing off: spine and rings both empty.
+    assert!(off.trace_log().is_empty(), "spine must stay empty");
+    assert!(off.merged_trace().is_empty(), "rings must stay empty");
+    // The traced run actually traced.
+    assert!(!on.trace_log().is_empty() && !on.merged_trace().is_empty());
+    // Identical control-plane outcome, switch by switch.
+    for s in on.topology().switch_ids() {
+        let (a, b) = (on.autopilot(s), off.autopilot(s));
+        assert_eq!(a.epoch(), b.epoch(), "switch {s:?} epoch");
+        assert_eq!(a.is_open(), b.is_open(), "switch {s:?} open");
+        assert_eq!(
+            on.forwarding_table(s).canonical_digest(),
+            off.forwarding_table(s).canonical_digest(),
+            "switch {s:?} table"
+        );
+    }
+}
+
 #[test]
 fn merged_trace_is_time_ordered() {
     let mut topo = gen::ring(4, 5);

@@ -10,9 +10,32 @@ use autonet::autopilot::{
     ConnectivityMonitor, ControlMsg, PortState, RouteComputer, RouteKind, Skeptic, SrpPayload,
     SwitchInfo, TreePosition,
 };
+use autonet::autopilot::{Event, ReconfigCause};
 use autonet::sim::{SimDuration, SimTime};
 use autonet::topo::gen;
+use autonet::trace::{merge_sorted, Histogram, Timeline, TraceRecord};
 use autonet::wire::{crc32, Packet, PacketType, ShortAddress, Uid};
+
+/// An arbitrary trace event for timeline-reconstruction properties
+/// (`tag` selects the kind, `epoch` scopes the epoch-carrying ones).
+fn arbitrary_event(tag: u8, epoch: u64) -> Event {
+    let epoch = Epoch(epoch);
+    match tag % 7 {
+        0 => Event::ReconfigTriggered {
+            epoch,
+            cause: ReconfigCause::EpochMessage,
+        },
+        1 => Event::NetworkClosed { epoch },
+        2 => Event::TreeStable { epoch },
+        3 => Event::AddressesAssigned { epoch, switches: 4 },
+        4 => Event::TableInstalled {
+            epoch,
+            table: autonet::switch::ForwardingTable::new(),
+        },
+        5 => Event::NetworkOpened { epoch },
+        _ => Event::UnroutableTopology { epoch },
+    }
+}
 
 /// One step of an adversarial schedule against a [`Skeptic`].
 #[derive(Clone, Copy, Debug)]
@@ -275,6 +298,135 @@ proptest! {
             }
             prop_assert_ne!(m.state(), PortState::SwitchGood);
         }
+    }
+
+    /// Timeline reconstruction is *total* and *ordered* for any
+    /// interleaving of events: nothing is dropped, the merged output is
+    /// sorted by `(time, node)`, and every epoch that appears in the
+    /// input gets a report.
+    #[test]
+    fn timeline_reconstruction_total_and_ordered(
+        raw in prop::collection::vec(
+            (0u64..1_000_000, 0usize..8, any::<u8>(), 0u64..5),
+            0..200,
+        ),
+    ) {
+        let records: Vec<TraceRecord> = raw
+            .iter()
+            .map(|&(t, node, tag, epoch)| TraceRecord {
+                time: SimTime::from_nanos(t),
+                node,
+                event: arbitrary_event(tag, epoch),
+            })
+            .collect();
+        let tl = Timeline::build(&records);
+        // Total: every input record survives into the merged history.
+        prop_assert_eq!(tl.records.len(), records.len());
+        // Ordered: sorted by (time, node).
+        prop_assert!(tl
+            .records
+            .windows(2)
+            .all(|w| (w[0].time, w[0].node) <= (w[1].time, w[1].node)));
+        // Total over epochs: each epoch seen in the input has a report.
+        let input_epochs: std::collections::BTreeSet<u64> =
+            records.iter().filter_map(|r| r.event.epoch()).map(|e| e.0).collect();
+        let report_epochs: std::collections::BTreeSet<u64> =
+            tl.epochs.iter().map(|r| r.epoch.0).collect();
+        prop_assert_eq!(&input_epochs, &report_epochs);
+        // Reports come out ascending by epoch.
+        prop_assert!(tl.epochs.windows(2).all(|w| w[0].epoch < w[1].epoch));
+        // And the same input in any other order reconstructs identically.
+        let mut reversed = records.clone();
+        reversed.reverse();
+        let tl2 = Timeline::build(&reversed);
+        prop_assert_eq!(
+            tl.epochs.iter().map(|r| r.phases()).collect::<Vec<_>>(),
+            tl2.epochs.iter().map(|r| r.phases()).collect::<Vec<_>>()
+        );
+    }
+
+    /// For well-formed histories (each node closes before it reopens
+    /// within an epoch), the reconstructed report puts `closed` at or
+    /// before `opened`, and `merge_sorted` is deterministic under
+    /// arbitrary input permutations.
+    #[test]
+    fn timeline_opened_preceded_by_closed(
+        // Per (node, epoch): close time and open delta, epochs ascending.
+        spans in prop::collection::vec(
+            (0usize..6, 1u64..1_000, 1u64..1_000),
+            1..40,
+        ),
+        seed in 0u64..10_000,
+    ) {
+        let mut records = Vec::new();
+        for (i, &(node, close_at, open_delta)) in spans.iter().enumerate() {
+            let epoch = Epoch(i as u64 + 1);
+            let base = i as u64 * 10_000;
+            records.push(TraceRecord {
+                time: SimTime::from_nanos(base + close_at),
+                node,
+                event: Event::NetworkClosed { epoch },
+            });
+            records.push(TraceRecord {
+                time: SimTime::from_nanos(base + close_at + open_delta),
+                node,
+                event: Event::NetworkOpened { epoch },
+            });
+        }
+        // Shuffle deterministically by seed: reconstruction must not care.
+        let mut rng = autonet::sim::SimRng::new(seed);
+        for i in (1..records.len()).rev() {
+            records.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        let tl = Timeline::build(&records);
+        for report in &tl.epochs {
+            let (Some(c), Some(o)) = (report.closed, report.opened) else {
+                return Err(TestCaseError(format!(
+                    "epoch {:?} lost its close/open pair",
+                    report.epoch
+                )));
+            };
+            prop_assert!(c <= o, "epoch {:?}: closed {c} after opened {o}", report.epoch);
+        }
+        let merged = merge_sorted(&records);
+        prop_assert!(merged
+            .windows(2)
+            .all(|w| (w[0].time, w[0].node) <= (w[1].time, w[1].node)));
+    }
+
+    /// Histogram merge is associative (and commutative): per-node
+    /// histograms can be combined in any grouping.
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in prop::collection::vec(0u64..u64::MAX / 2, 0..50),
+        ys in prop::collection::vec(0u64..u64::MAX / 2, 0..50),
+        zs in prop::collection::vec(0u64..u64::MAX / 2, 0..50),
+    ) {
+        let build = |ns: &[u64]| {
+            let mut h = Histogram::new();
+            for &n in ns {
+                h.record(SimDuration::from_nanos(n));
+            }
+            h
+        };
+        let (a, b, c) = (build(&xs), build(&ys), build(&zs));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // Commutativity falls out of elementwise addition too.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(left.count(), (xs.len() + ys.len() + zs.len()) as u64);
     }
 }
 
