@@ -6,11 +6,19 @@
 //! the same network and replay the same progression with the matching
 //! control-processor cost and timer presets.
 
-use autonet_bench::{converge, mean, measure_reconfiguration, ms, print_table};
+use autonet_bench::{
+    converge, mean, measure_reconfiguration, median, ms, ms_f64, print_table, write_bench_json,
+};
 use autonet_net::NetParams;
 use autonet_topo::{gen, LinkId};
 
-fn measure_preset(name: &str, params: NetParams, paper: &str, rows: &mut Vec<Vec<String>>) {
+fn measure_preset(
+    name: &str,
+    params: NetParams,
+    paper: &str,
+    rows: &mut Vec<Vec<String>>,
+    json: &mut Vec<String>,
+) {
     let mut reconfig = Vec::new();
     let mut detection = Vec::new();
     let mut total = Vec::new();
@@ -31,15 +39,36 @@ fn measure_preset(name: &str, params: NetParams, paper: &str, rows: &mut Vec<Vec
         ms(mean(&detection)),
         ms(mean(&total)),
     ]);
+    json.push(format!(
+        "    {{\"preset\": {name:?}, \"topology\": \"src-30\", \"faults\": {}, \
+         \"median_reconfig_ms\": {:.3}, \"median_detection_ms\": {:.3}, \"median_total_ms\": {:.3}}}",
+        reconfig.len(),
+        ms_f64(median(&reconfig)),
+        ms_f64(median(&detection)),
+        ms_f64(median(&total)),
+    ));
 }
 
 fn main() {
     println!("E1: reconfiguration time on the 30-switch SRC network");
     println!("(single link failure; time from fault to every switch reopened)");
     let mut rows = Vec::new();
-    measure_preset("naive", NetParams::naive(), "~5000 ms", &mut rows);
-    measure_preset("optimized", NetParams::optimized(), "~500 ms", &mut rows);
-    measure_preset("tuned", NetParams::tuned(), "~170 ms", &mut rows);
+    let mut json = Vec::new();
+    measure_preset(
+        "naive",
+        NetParams::naive(),
+        "~5000 ms",
+        &mut rows,
+        &mut json,
+    );
+    measure_preset(
+        "optimized",
+        NetParams::optimized(),
+        "~500 ms",
+        &mut rows,
+        &mut json,
+    );
+    measure_preset("tuned", NetParams::tuned(), "~170 ms", &mut rows, &mut json);
     // The perf configuration: typed event tracing off (zero-capacity
     // rings, nothing reaches the spine). Virtual times must match the
     // tuned row exactly — tracing is observability, not behavior.
@@ -51,6 +80,7 @@ fn main() {
         },
         "~170 ms",
         &mut rows,
+        &mut json,
     );
     print_table(
         "E1: SRC network reconfiguration time, paper vs measured",
@@ -67,4 +97,10 @@ fn main() {
         "\nShape check: each generation should improve by roughly an order\n\
          of magnitude, with the tuned version well under one second."
     );
+    let body = format!(
+        "{{\n  \"experiment\": \"reconfig_time\",\n  \"unit\": \"ms\",\n  \"presets\": [\n{}\n  ]\n}}\n",
+        json.join(",\n")
+    );
+    let path = write_bench_json("reconfig", &body);
+    println!("wrote {}", path.display());
 }

@@ -102,6 +102,32 @@ pub fn mean(durations: &[SimDuration]) -> SimDuration {
     SimDuration::from_nanos(total / durations.len() as u64)
 }
 
+/// Median of a slice of durations (upper median for even counts).
+pub fn median(durations: &[SimDuration]) -> SimDuration {
+    if durations.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let mut sorted: Vec<SimDuration> = durations.to_vec();
+    sorted.sort();
+    sorted[sorted.len() / 2]
+}
+
+/// Writes a machine-readable bench result as `BENCH_<name>.json` at the
+/// repository root (resolved relative to this crate's manifest, so the
+/// bench can run from any working directory). Returns the path written.
+pub fn write_bench_json(name: &str, json: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json).expect("bench JSON must be writable at the repo root");
+    path
+}
+
+/// A duration in fractional milliseconds for JSON bodies.
+pub fn ms_f64(d: SimDuration) -> f64 {
+    d.as_millis_f64()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +137,19 @@ mod tests {
         let m = mean(&[SimDuration::from_millis(10), SimDuration::from_millis(30)]);
         assert_eq!(m, SimDuration::from_millis(20));
         assert_eq!(mean(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn median_of_durations() {
+        assert_eq!(median(&[]), SimDuration::ZERO);
+        let odd = [
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(10),
+            SimDuration::from_millis(20),
+        ];
+        assert_eq!(median(&odd), SimDuration::from_millis(20));
+        let even = [SimDuration::from_millis(10), SimDuration::from_millis(30)];
+        assert_eq!(median(&even), SimDuration::from_millis(30));
     }
 
     #[test]

@@ -8,12 +8,15 @@
 //! with the violation; the caller (usually a test) hands the scenario to
 //! the shrinker and prints a minimal reproducer.
 
+use std::collections::BTreeSet;
+
 use autonet_core::AutopilotParams;
 use autonet_net::{NetParams, Network};
 use autonet_sim::{SimDuration, SimTime};
-use autonet_topo::{LinkId, NetView, SwitchId, Topology};
+use autonet_topo::{HostId, LinkId, NetView, SwitchId, Topology};
+use autonet_trace::{InterruptionConfig, InterruptionReport, Timeline, TraceRecord};
 
-use crate::oracle::{OracleConfig, OracleState, Violation};
+use crate::oracle::{check_blackouts, OracleConfig, OracleState, Violation};
 use crate::scenario::{FaultOp, Scenario};
 use crate::substrate::{PacketSubstrate, SlotSubstrate, Substrate};
 
@@ -27,6 +30,9 @@ pub struct CheckOutcome {
     /// How many quiescence points were reached (initial bring-up,
     /// waypoints, final settle).
     pub quiescences: u32,
+    /// The service-interruption ledger, when probes ran (blackout
+    /// checking on and the topology has at least two hosts).
+    pub interruption: Option<InterruptionReport>,
 }
 
 impl CheckOutcome {
@@ -74,6 +80,13 @@ pub fn run_scenario<S: Substrate>(
     let mut view = topo.view_all();
     let mut quiescences = 0u32;
     let step = SimDuration::from_millis(cfg.step_ms.max(1));
+    // The drained spine is kept whole: the end-of-run blackout oracle
+    // rebuilds the full reconfiguration timeline from it.
+    let mut spine: Vec<TraceRecord> = Vec::new();
+    // Pairs touching a host that ever lost power are exempt from the
+    // blackout oracle (their outage is the fault itself, not an epoch).
+    let mut exempt: BTreeSet<usize> = BTreeSet::new();
+    let probing = cfg.check_blackouts && topo.num_hosts() >= 2;
 
     // Advances `span`, draining the observation log through the oracles
     // after every chunk.
@@ -81,6 +94,7 @@ pub fn run_scenario<S: Substrate>(
         sub: &mut S,
         topo: &Topology,
         oracle: &mut OracleState,
+        spine: &mut Vec<TraceRecord>,
         span: SimDuration,
         step: SimDuration,
     ) -> Option<Violation> {
@@ -90,8 +104,10 @@ pub fn run_scenario<S: Substrate>(
             sub.run_for(chunk);
             left -= chunk;
             let records = sub.drain_control();
-            if let Some(v) = oracle.ingest(topo, &records) {
-                return Some(v);
+            let v = oracle.ingest(topo, &records);
+            spine.extend(records);
+            if v.is_some() {
+                return v;
             }
             let obs = sub.observe_ports(topo);
             if let Some(v) = oracle.observe_ports(sub.now(), &obs) {
@@ -104,17 +120,19 @@ pub fn run_scenario<S: Substrate>(
     // Runs until the substrate reports quiescence, oracles firing along
     // the way; `None` on success, the violation (possibly SettleTimeout)
     // otherwise.
+    #[allow(clippy::too_many_arguments)]
     fn settle<S: Substrate>(
         sub: &mut S,
         topo: &Topology,
         oracle: &mut OracleState,
+        spine: &mut Vec<TraceRecord>,
         view: &NetView<'_>,
         budget_ms: u64,
         step: SimDuration,
     ) -> Result<(), Violation> {
         let deadline = sub.now() + SimDuration::from_millis(budget_ms);
         while sub.now() < deadline {
-            if let Some(v) = advance(sub, topo, oracle, step, step) {
+            if let Some(v) = advance(sub, topo, oracle, spine, step, step) {
                 return Err(v);
             }
             if sub.quiescent(view) {
@@ -127,20 +145,55 @@ pub fn run_scenario<S: Substrate>(
         })
     }
 
-    let outcome = |violation: Option<Violation>, sub: &S, quiescences: u32| CheckOutcome {
-        violation,
-        end: sub.now(),
-        quiescences,
+    let interruption = |sub: &S, spine: &[TraceRecord]| {
+        probing.then(|| {
+            let timeline = Timeline::build(spine);
+            InterruptionReport::build(
+                &sub.probe_pairs(),
+                &sub.probe_records(),
+                &timeline,
+                sub.now(),
+                InterruptionConfig {
+                    interval: cfg.probe_interval,
+                    min_run: 2,
+                },
+            )
+        })
     };
+    let outcome =
+        |violation: Option<Violation>, sub: &S, quiescences: u32, spine: &[TraceRecord]| {
+            CheckOutcome {
+                violation,
+                end: sub.now(),
+                quiescences,
+                interruption: interruption(sub, spine),
+            }
+        };
 
     // Initial bring-up to first quiescence; the skeptic oracle arms here.
-    if let Err(v) = settle(sub, topo, &mut oracle, &view, cfg.bringup_budget_ms, step) {
-        return outcome(Some(v), sub, quiescences);
+    if let Err(v) = settle(
+        sub,
+        topo,
+        &mut oracle,
+        &mut spine,
+        &view,
+        cfg.bringup_budget_ms,
+        step,
+    ) {
+        return outcome(Some(v), sub, quiescences, &spine);
     }
     quiescences += 1;
     let snaps = sub.snapshots(topo);
     if let Some(v) = oracle.at_quiescence(sub.now(), &view, &snaps) {
-        return outcome(Some(v), sub, quiescences);
+        return outcome(Some(v), sub, quiescences, &spine);
+    }
+    if probing {
+        // Probe a ring over the hosts: every host both sends and
+        // receives, and a fault anywhere lands on some probed pair.
+        let n = topo.num_hosts();
+        let pairs: Vec<(HostId, HostId)> =
+            (0..n).map(|i| (HostId(i), HostId((i + 1) % n))).collect();
+        sub.start_probes(&pairs, cfg.probe_interval);
     }
     let origin = sub.now();
 
@@ -149,22 +202,25 @@ pub fn run_scenario<S: Substrate>(
     for event in &events {
         let due = origin + SimDuration::from_millis(event.at_ms);
         if due > sub.now() {
-            if let Some(v) = advance(sub, topo, &mut oracle, due - sub.now(), step) {
-                return outcome(Some(v), sub, quiescences);
+            if let Some(v) = advance(sub, topo, &mut oracle, &mut spine, due - sub.now(), step) {
+                return outcome(Some(v), sub, quiescences, &spine);
             }
         }
         if let FaultOp::Waypoint { settle_ms } = event.op {
-            match settle(sub, topo, &mut oracle, &view, settle_ms, step) {
-                Err(v) => return outcome(Some(v), sub, quiescences),
+            match settle(sub, topo, &mut oracle, &mut spine, &view, settle_ms, step) {
+                Err(v) => return outcome(Some(v), sub, quiescences, &spine),
                 Ok(()) => {
                     quiescences += 1;
                     let snaps = sub.snapshots(topo);
                     if let Some(v) = oracle.at_quiescence(sub.now(), &view, &snaps) {
-                        return outcome(Some(v), sub, quiescences);
+                        return outcome(Some(v), sub, quiescences, &spine);
                     }
                 }
             }
         } else {
+            if let FaultOp::HostPowerOff(h) = event.op {
+                exempt.insert(h);
+            }
             sub.apply(&event.op, topo);
             mirror(&mut view, topo, &event.op);
             oracle.on_fault(&event.op);
@@ -172,13 +228,21 @@ pub fn run_scenario<S: Substrate>(
     }
 
     // Final settle: the reconfiguration-termination liveness bound.
-    match settle(sub, topo, &mut oracle, &view, scenario.settle_ms, step) {
-        Err(v) => return outcome(Some(v), sub, quiescences),
+    match settle(
+        sub,
+        topo,
+        &mut oracle,
+        &mut spine,
+        &view,
+        scenario.settle_ms,
+        step,
+    ) {
+        Err(v) => return outcome(Some(v), sub, quiescences, &spine),
         Ok(()) => {
             quiescences += 1;
             let snaps = sub.snapshots(topo);
             if let Some(v) = oracle.at_quiescence(sub.now(), &view, &snaps) {
-                return outcome(Some(v), sub, quiescences);
+                return outcome(Some(v), sub, quiescences, &spine);
             }
         }
     }
@@ -188,9 +252,21 @@ pub fn run_scenario<S: Substrate>(
             Some(Violation::ReferenceMismatch { detail, time }),
             sub,
             quiescences,
+            &spine,
         );
     }
-    outcome(None, sub, quiescences)
+    // Every oracle stayed silent; the blackout ledger gets the last word.
+    let report = interruption(sub, &spine);
+    let violation = report.as_ref().and_then(|r| {
+        let timeline = Timeline::build(&spine);
+        check_blackouts(r, &timeline, &exempt, cfg.blackout_slack, sub.now())
+    });
+    CheckOutcome {
+        violation,
+        end: sub.now(),
+        quiescences,
+        interruption: report,
+    }
 }
 
 /// Runs a scenario on the packet-level backend.

@@ -33,7 +33,7 @@ mod substrate;
 mod tables;
 
 pub use engine::{run_packet, run_scenario, run_slot, CheckOutcome};
-pub use oracle::{OracleConfig, OracleState, Violation};
+pub use oracle::{check_blackouts, OracleConfig, OracleState, Violation};
 pub use scenario::{random_scenario, FaultEvent, FaultOp, Scenario, TopoSpec};
 pub use shrink::{packet_reproducer, shrink_schedule, Reproducer};
 pub use substrate::{NodeSnapshot, PacketSubstrate, PortObservation, SlotSubstrate, Substrate};

@@ -57,6 +57,16 @@ pub struct OracleConfig {
     pub check_skeptic: bool,
     /// Check single-epoch agreement at quiescence waypoints.
     pub check_quiescence: bool,
+    /// Run service-interruption probes (topologies with ≥ 2 hosts only)
+    /// and check every blackout window at campaign end.
+    pub check_blackouts: bool,
+    /// Probe cadence when blackout checking is on.
+    pub probe_interval: SimDuration,
+    /// How far past its epoch's reopen a blackout may run before the
+    /// oracle fires: data-plane restoration includes host address
+    /// relearning (ARP refresh / broadcast fallback), which trails the
+    /// control plane by up to a couple of seconds.
+    pub blackout_slack: SimDuration,
 }
 
 impl OracleConfig {
@@ -85,6 +95,9 @@ impl OracleConfig {
             check_tables: true,
             check_skeptic: true,
             check_quiescence: true,
+            check_blackouts: true,
+            probe_interval: SimDuration::from_millis(25),
+            blackout_slack: SimDuration::from_secs(6),
         }
     }
 }
@@ -122,6 +135,35 @@ pub enum Violation {
     /// The converged control plane disagrees with the graph-theoretic
     /// reference (packet backend only).
     ReferenceMismatch { detail: String, time: SimTime },
+    /// A probe-flow blackout window is internally inconsistent (bad
+    /// ordering, or it starts before the reconfiguration that is supposed
+    /// to explain it was even triggered).
+    BlackoutMalformed {
+        pair: u32,
+        src: usize,
+        dst: usize,
+        detail: String,
+        time: SimTime,
+    },
+    /// A blackout window on a non-exempt host pair overlaps no
+    /// reconfiguration: service was interrupted without a cause the
+    /// control plane knows about.
+    BlackoutUnexplained {
+        pair: u32,
+        src: usize,
+        dst: usize,
+        start: SimTime,
+        end: SimTime,
+    },
+    /// A blackout outlived its reconfiguration: the window ends later
+    /// than the epoch's reopen plus the relearning slack.
+    BlackoutOverrun {
+        pair: u32,
+        src: usize,
+        dst: usize,
+        end: SimTime,
+        bound: SimTime,
+    },
 }
 
 impl Violation {
@@ -135,6 +177,9 @@ impl Violation {
             Violation::QuiescenceDisagreement { .. } => "quiescence-disagreement",
             Violation::SettleTimeout { .. } => "settle-timeout",
             Violation::ReferenceMismatch { .. } => "reference-mismatch",
+            Violation::BlackoutMalformed { .. } => "blackout-malformed",
+            Violation::BlackoutUnexplained { .. } => "blackout-unexplained",
+            Violation::BlackoutOverrun { .. } => "blackout-overrun",
         }
     }
 }
@@ -179,8 +224,109 @@ impl std::fmt::Display for Violation {
             Violation::ReferenceMismatch { detail, time } => {
                 write!(f, "reference mismatch at {time}: {detail}")
             }
+            Violation::BlackoutMalformed {
+                pair,
+                src,
+                dst,
+                detail,
+                time,
+            } => write!(
+                f,
+                "malformed blackout on pair {pair} ({src} -> {dst}) at {time}: {detail}"
+            ),
+            Violation::BlackoutUnexplained {
+                pair,
+                src,
+                dst,
+                start,
+                end,
+            } => write!(
+                f,
+                "unexplained blackout on pair {pair} ({src} -> {dst}): dark {start} .. {end} with no overlapping reconfiguration"
+            ),
+            Violation::BlackoutOverrun {
+                pair,
+                src,
+                dst,
+                end,
+                bound,
+            } => write!(
+                f,
+                "blackout overrun on pair {pair} ({src} -> {dst}): service still dark at {end}, bound was {bound}"
+            ),
         }
     }
+}
+
+/// The end-of-campaign blackout oracle: every recorded window on a
+/// non-exempt pair (neither endpoint ever lost power) must be well
+/// formed, explained by a reconfiguration epoch, and contained in that
+/// epoch's trigger → reopen span plus `slack` for host relearning.
+pub fn check_blackouts(
+    report: &autonet_trace::InterruptionReport,
+    timeline: &autonet_trace::Timeline,
+    exempt: &BTreeSet<usize>,
+    slack: SimDuration,
+    horizon: SimTime,
+) -> Option<Violation> {
+    for p in &report.pairs {
+        if exempt.contains(&p.src) || exempt.contains(&p.dst) {
+            continue;
+        }
+        for w in &p.windows {
+            if w.start > w.end {
+                return Some(Violation::BlackoutMalformed {
+                    pair: w.pair,
+                    src: p.src,
+                    dst: p.dst,
+                    detail: format!("window starts at {} after it ends at {}", w.start, w.end),
+                    time: w.end,
+                });
+            }
+            let Some(epoch) = w.epoch else {
+                return Some(Violation::BlackoutUnexplained {
+                    pair: w.pair,
+                    src: p.src,
+                    dst: p.dst,
+                    start: w.start,
+                    end: w.end,
+                });
+            };
+            let Some(r) = timeline.epochs.iter().find(|r| r.epoch == epoch) else {
+                return Some(Violation::BlackoutMalformed {
+                    pair: w.pair,
+                    src: p.src,
+                    dst: p.dst,
+                    detail: format!("attributed to {epoch:?}, which the timeline never saw"),
+                    time: w.end,
+                });
+            };
+            let trigger = r.detected.or(r.closed).unwrap_or(w.start);
+            if w.start < trigger {
+                return Some(Violation::BlackoutMalformed {
+                    pair: w.pair,
+                    src: p.src,
+                    dst: p.dst,
+                    detail: format!(
+                        "window opens at {} before its {epoch:?} trigger at {trigger}",
+                        w.start
+                    ),
+                    time: w.end,
+                });
+            }
+            let bound = r.opened.unwrap_or(horizon) + slack;
+            if w.end > bound {
+                return Some(Violation::BlackoutOverrun {
+                    pair: w.pair,
+                    src: p.src,
+                    dst: p.dst,
+                    end: w.end,
+                    bound,
+                });
+            }
+        }
+    }
+    None
 }
 
 /// The mutable state of all online oracles for one campaign run.

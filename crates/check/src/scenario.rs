@@ -24,6 +24,15 @@ pub enum TopoSpec {
     Torus { w: usize, h: usize, seed: u64 },
     /// `gen::random_connected(n, extra, seed)`.
     RandomConnected { n: usize, extra: usize, seed: u64 },
+    /// `gen::random_connected(n, extra, seed)` plus `per_switch`
+    /// dual-homed hosts on every switch — the hosted corpus the blackout
+    /// oracle runs probes over.
+    RandomConnectedHosts {
+        n: usize,
+        extra: usize,
+        per_switch: usize,
+        seed: u64,
+    },
 }
 
 impl TopoSpec {
@@ -34,6 +43,16 @@ impl TopoSpec {
             TopoSpec::Ring { n, seed } => gen::ring(n, seed),
             TopoSpec::Torus { w, h, seed } => gen::torus(w, h, seed),
             TopoSpec::RandomConnected { n, extra, seed } => gen::random_connected(n, extra, seed),
+            TopoSpec::RandomConnectedHosts {
+                n,
+                extra,
+                per_switch,
+                seed,
+            } => {
+                let mut topo = gen::random_connected(n, extra, seed);
+                gen::add_dual_homed_hosts(&mut topo, per_switch, seed ^ 0x4057);
+                topo
+            }
         }
     }
 
@@ -48,6 +67,14 @@ impl TopoSpec {
             TopoSpec::RandomConnected { n, extra, seed } => {
                 format!("TopoSpec::RandomConnected {{ n: {n}, extra: {extra}, seed: {seed} }}")
             }
+            TopoSpec::RandomConnectedHosts {
+                n,
+                extra,
+                per_switch,
+                seed,
+            } => format!(
+                "TopoSpec::RandomConnectedHosts {{ n: {n}, extra: {extra}, per_switch: {per_switch}, seed: {seed} }}"
+            ),
         }
     }
 }

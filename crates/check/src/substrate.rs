@@ -70,6 +70,17 @@ pub trait Substrate {
     /// A final consistency audit at campaign end (backend-specific;
     /// returns a discrepancy description on failure).
     fn final_audit(&self) -> Result<(), String>;
+    /// Starts the service-interruption probe flows (no-op on backends
+    /// without a data plane).
+    fn start_probes(&mut self, _pairs: &[(HostId, HostId)], _interval: SimDuration) {}
+    /// The probe ledger so far (empty when probes never started).
+    fn probe_records(&self) -> Vec<autonet_core::ProbeRecord> {
+        Vec::new()
+    }
+    /// The probed `(src, dst)` host pairs, in pair-index order.
+    fn probe_pairs(&self) -> Vec<(usize, usize)> {
+        Vec::new()
+    }
 }
 
 /// Links with exactly one end inside `side`.
@@ -215,6 +226,18 @@ impl Substrate for PacketSubstrate {
     fn final_audit(&self) -> Result<(), String> {
         self.net.check_against_reference()
     }
+
+    fn start_probes(&mut self, pairs: &[(HostId, HostId)], interval: SimDuration) {
+        self.net.start_probes(pairs, interval);
+    }
+
+    fn probe_records(&self) -> Vec<autonet_core::ProbeRecord> {
+        self.net.probe_records().to_vec()
+    }
+
+    fn probe_pairs(&self) -> Vec<(usize, usize)> {
+        self.net.probe_pairs()
+    }
 }
 
 /// Noise rate that reliably condemns a port within a few sampling
@@ -342,5 +365,17 @@ impl Substrate for SlotSubstrate {
 
     fn final_audit(&self) -> Result<(), String> {
         Ok(())
+    }
+
+    fn start_probes(&mut self, pairs: &[(HostId, HostId)], interval: SimDuration) {
+        self.net.start_probes(pairs, interval);
+    }
+
+    fn probe_records(&self) -> Vec<autonet_core::ProbeRecord> {
+        self.net.probe_records().to_vec()
+    }
+
+    fn probe_pairs(&self) -> Vec<(usize, usize)> {
+        self.net.probe_pairs()
     }
 }

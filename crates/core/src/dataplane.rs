@@ -1,0 +1,120 @@
+//! Data-plane observability primitives shared by both simulation
+//! backends.
+//!
+//! The control-plane event spine ([`Event`](crate::Event)) narrates what
+//! the Autopilots *did*; these types record what the hosts *experienced*.
+//! A probe-flow generator (one per backend, see `autonet-net`) sends
+//! small tagged frames between configured host pairs on a fixed cadence
+//! and logs one [`ProbeRecord`] per probe. The records are pure data —
+//! `autonet-trace` folds them against the reconfiguration timeline into
+//! per-pair blackout windows, and `autonet-check` turns those windows
+//! into an oracle (every blackout must be explained by, and bounded by,
+//! an enclosing reconfiguration).
+
+use autonet_sim::{SimDuration, SimTime};
+
+/// The fate of one probe, classified against a run horizon.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The probe reached its destination host.
+    Delivered,
+    /// The probe was sent but never arrived (lost in the fabric or
+    /// discarded by a cleared forwarding table).
+    Dropped,
+    /// The probe never entered the fabric: the sending host was down, or
+    /// its transmit buffer overflowed, or the destination had no
+    /// resolvable address at send time.
+    DeadLetter,
+    /// The probe was sent so close to the end of the run that its fate is
+    /// unknown (still plausibly in flight).
+    Pending,
+}
+
+impl ProbeOutcome {
+    /// A stable short tag for serialization.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ProbeOutcome::Delivered => "delivered",
+            ProbeOutcome::Dropped => "dropped",
+            ProbeOutcome::DeadLetter => "dead-letter",
+            ProbeOutcome::Pending => "pending",
+        }
+    }
+}
+
+/// One probe's life: sent at a time, on behalf of a pair, either
+/// delivered at a time or not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeRecord {
+    /// Index of the (source, destination) pair in the probe configuration.
+    pub pair: u32,
+    /// Per-pair sequence number, starting at 0.
+    pub seq: u64,
+    /// When the probe was handed to the source host.
+    pub sent: SimTime,
+    /// When it arrived at the destination host, if it ever did.
+    pub delivered: Option<SimTime>,
+    /// Whether it never entered the fabric at all (see
+    /// [`ProbeOutcome::DeadLetter`]).
+    pub dead_letter: bool,
+}
+
+impl ProbeRecord {
+    /// Classifies the probe against the end of the observation window:
+    /// undelivered probes sent within `grace` of `horizon` are
+    /// [`Pending`](ProbeOutcome::Pending), not dropped — they may still
+    /// be in flight.
+    pub fn outcome(&self, horizon: SimTime, grace: SimDuration) -> ProbeOutcome {
+        if self.dead_letter {
+            return ProbeOutcome::DeadLetter;
+        }
+        if self.delivered.is_some() {
+            return ProbeOutcome::Delivered;
+        }
+        if self.sent + grace > horizon {
+            return ProbeOutcome::Pending;
+        }
+        ProbeOutcome::Dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification() {
+        let horizon = SimTime::from_millis(100);
+        let grace = SimDuration::from_millis(10);
+        let base = ProbeRecord {
+            pair: 0,
+            seq: 0,
+            sent: SimTime::from_millis(50),
+            delivered: None,
+            dead_letter: false,
+        };
+        assert_eq!(base.outcome(horizon, grace), ProbeOutcome::Dropped);
+        let delivered = ProbeRecord {
+            delivered: Some(SimTime::from_millis(51)),
+            ..base
+        };
+        assert_eq!(delivered.outcome(horizon, grace), ProbeOutcome::Delivered);
+        let dead = ProbeRecord {
+            dead_letter: true,
+            ..base
+        };
+        assert_eq!(dead.outcome(horizon, grace), ProbeOutcome::DeadLetter);
+        let late = ProbeRecord {
+            sent: SimTime::from_millis(95),
+            ..base
+        };
+        assert_eq!(late.outcome(horizon, grace), ProbeOutcome::Pending);
+        // Dead-letter wins over pending: the probe provably never left.
+        let late_dead = ProbeRecord {
+            sent: SimTime::from_millis(95),
+            dead_letter: true,
+            ..base
+        };
+        assert_eq!(late_dead.outcome(horizon, grace), ProbeOutcome::DeadLetter);
+    }
+}

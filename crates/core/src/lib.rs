@@ -31,6 +31,7 @@
 mod addressing;
 mod autopilot;
 mod connectivity;
+pub mod dataplane;
 mod epoch;
 pub mod events;
 mod messages;
@@ -46,6 +47,7 @@ mod tree;
 pub use addressing::assign_switch_numbers;
 pub use autopilot::{Action, Autopilot, PortHardwareReport};
 pub use connectivity::{ConnectivityEvent, ConnectivityMonitor, NeighborId};
+pub use dataplane::{ProbeOutcome, ProbeRecord};
 pub use epoch::Epoch;
 pub use events::{Event, ReconfigCause, SkepticKind, SkepticVerdict, TransitionCause};
 pub use messages::{ControlMsg, MsgCodecError, SrpPayload};

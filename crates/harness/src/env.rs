@@ -42,6 +42,16 @@ pub trait Environment {
     /// Host traffic stopped: a reconfiguration began.
     fn network_closed(&mut self, _now: SimTime) {}
 
+    /// One chance per status-sampling round to sample data-plane
+    /// telemetry (queue depths, stall time, link utilization) on the
+    /// harness cadence. Called at the end of every sampling round with
+    /// `is_root` reflecting whether this node's Autopilot currently
+    /// believes itself the root of the agreed topology — the node whose
+    /// links the up\*/down\* routes concentrate on (the E5 root-hotspot
+    /// effect). Backends without datapath telemetry keep the default
+    /// no-op.
+    fn sample_datapath(&mut self, _now: SimTime, _is_root: bool) {}
+
     /// One typed event from this node's Autopilot trace ring, forwarded
     /// by the harness right after the entry point that produced it.
     /// Backends that maintain a network-wide event spine (see

@@ -91,6 +91,8 @@ impl NodeHarness {
                 self.sample_port(now, port, status, env);
             }
         }
+        let is_root = self.ap.global().is_some_and(|g| g.root == self.ap.uid());
+        env.sample_datapath(now, is_root);
         self.next_sample = now + self.sample_period();
     }
 

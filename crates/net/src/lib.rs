@@ -19,6 +19,10 @@
 //!   scheduled in virtual time ([`Network::schedule_link_down`] et al.);
 //! - host data traffic with delivery records, plus workload generators
 //!   ([`workload`]);
+//! - service-interruption probe flows ([`Network::start_probes`],
+//!   [`SlotNet::start_probes`]) and per-port datapath telemetry
+//!   ([`DatapathTelemetry`]), both off by default and allocation-free
+//!   when off;
 //! - convergence/consistency checks and reconfiguration-time measurement
 //!   ([`Network::run_until_stable`], [`Network::check_against_reference`]);
 //! - the FDDI-style token-ring baseline for the aggregate-bandwidth
@@ -28,9 +32,12 @@ mod network;
 mod params;
 mod ring;
 mod slotnet;
+mod telemetry;
 pub mod workload;
 
+pub use autonet_core::{ProbeOutcome, ProbeRecord};
 pub use network::{DeliveryRecord, NetEvent, NetEventKind, NetStats, Network, NetworkStats};
 pub use params::{CpuModel, NetParams};
 pub use ring::{RingStats, TokenRing};
 pub use slotnet::SlotNet;
+pub use telemetry::DatapathTelemetry;

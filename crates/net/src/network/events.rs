@@ -88,6 +88,8 @@ pub enum Event {
     HostPowerOn {
         h: usize,
     },
+    /// One round of service-interruption probes (self-rescheduling).
+    ProbeTick,
 }
 
 /// Observable network happenings, timestamped.

@@ -17,7 +17,7 @@ pub(super) struct HostSim {
 
 impl NetWorld {
     /// Executes a batch of host controller actions.
-    fn apply_host_actions(
+    pub(super) fn apply_host_actions(
         &mut self,
         now: SimTime,
         h: usize,
@@ -35,6 +35,12 @@ impl NetWorld {
                     } else {
                         0
                     };
+                    if tag & super::probes::PROBE_TAG_BIT != 0 {
+                        // A probe frame: record its fate, keep it out of
+                        // the workload counters and delivery log.
+                        self.note_probe_delivery(now, h, tag);
+                        continue;
+                    }
                     self.stats.data_delivered += 1;
                     self.deliveries.push(DeliveryRecord {
                         time: now,

@@ -61,6 +61,9 @@ impl NetWorld {
                     (1, spec.a.switch.0, spec.a.port)
                 };
                 let start = self.link_busy[lid.0][dir].max(now);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record_stall(start.saturating_since(now));
+                }
                 let done = start + self.wire_time(packet.wire_len());
                 self.link_busy[lid.0][dir] = done;
                 let arrive = done + SimDuration::from_nanos(spec.timing.latency_ns());
@@ -80,6 +83,9 @@ impl NetWorld {
                     return;
                 }
                 let start = self.host_link_busy[hid.0][which][1].max(now);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record_stall(start.saturating_since(now));
+                }
                 let done = start + self.wire_time(packet.wire_len());
                 self.host_link_busy[hid.0][which][1] = done;
                 if self.host_powered_off_at[hid.0].is_some() {
@@ -156,6 +162,9 @@ impl NetWorld {
             return;
         }
         let start = self.host_link_busy[h][cport][0].max(now);
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.record_stall(start.saturating_since(now));
+        }
         let done = start + self.wire_time(packet.wire_len());
         self.host_link_busy[h][cport][0] = done;
         let arrive = done + SimDuration::from_nanos(HOST_LINK_LATENCY_NS);

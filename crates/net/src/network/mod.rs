@@ -21,6 +21,7 @@ mod events;
 mod faults;
 mod host_node;
 mod links;
+mod probes;
 mod stats;
 mod switch_node;
 #[cfg(test)]
@@ -64,6 +65,12 @@ pub struct NetWorld {
     /// node-attributed, for online invariant checkers and trace exports.
     trace: autonet_trace::EventLog,
     stats: NetStats,
+    /// Data-plane telemetry; `None` (nothing allocated or recorded)
+    /// whenever `NetParams::tracing` is off.
+    telemetry: Option<Box<crate::DatapathTelemetry>>,
+    /// Service-interruption probe flows; `None` until
+    /// [`Network::start_probes`].
+    probes: Option<probes::ProbeState>,
     /// Randomness for loss injection (seeded; deterministic).
     rng: SimRng,
 }
@@ -113,6 +120,10 @@ impl Network {
             deliveries: Vec::new(),
             trace: autonet_trace::EventLog::new(),
             stats: NetStats::default(),
+            telemetry: params
+                .tracing
+                .then(|| Box::new(crate::DatapathTelemetry::new())),
+            probes: None,
             rng: rng.fork(1),
             topo,
             params,
@@ -232,6 +243,7 @@ impl World for NetWorld {
             Event::HostPowerOn { h } => self.on_host_power_on(now, h, sched),
             Event::HostLinkDown { h, which } => self.on_host_link_down(now, h, which),
             Event::HostLinkUp { h, which } => self.on_host_link_up(now, h, which),
+            Event::ProbeTick => self.on_probe_tick(now, sched),
         }
     }
 }

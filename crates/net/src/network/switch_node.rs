@@ -106,6 +106,34 @@ impl Environment for PacketEnv<'_, '_> {
             .log_event(now, NetEventKind::SwitchClosed(SwitchId(self.s)));
     }
 
+    fn sample_datapath(&mut self, now: SimTime, is_root: bool) {
+        use autonet_sim::SimDuration;
+        use autonet_topo::PortUse;
+        let Some(t) = self.w.telemetry.as_deref_mut() else {
+            return;
+        };
+        // Link backlog is the packet model's queue-depth analog: how far
+        // each outgoing link direction is committed beyond now.
+        let mut max_backlog = SimDuration::ZERO;
+        let (mut links, mut busy) = (0u64, 0u64);
+        for port in 1..MAX_PORTS as PortIndex {
+            if let PortUse::Link(lid) = self.w.topo.port_use(SwitchId(self.s), port) {
+                let spec = self.w.topo.link(lid);
+                let dir = usize::from(!(spec.a.switch.0 == self.s && spec.a.port == port));
+                let backlog = self.w.link_busy[lid.0][dir].saturating_since(now);
+                max_backlog = max_backlog.max(backlog);
+                links += 1;
+                if backlog > SimDuration::ZERO {
+                    busy += 1;
+                }
+            }
+        }
+        t.sample_backlog(max_backlog);
+        if is_root && links > 0 {
+            t.sample_root_link(links, busy);
+        }
+    }
+
     fn trace(&mut self, time: SimTime, event: &autonet_core::Event) {
         self.w.trace.record(time, self.s, event.clone());
     }

@@ -148,3 +148,81 @@ fn broadcast_reaches_all_hosts() {
     // the sender's own.
     assert_eq!(receivers.len(), 3, "{receivers:?}");
 }
+
+#[test]
+fn probes_measure_steady_service_and_cut_blackouts() {
+    let mut topo = gen::ring(4, 5);
+    gen::add_dual_homed_hosts(&mut topo, 1, 9);
+    let mut net = stable_net(topo, 8);
+    // Let hosts learn their short addresses before probing starts.
+    net.run_for(SimDuration::from_secs(3));
+    assert!(net.telemetry().is_some(), "tuned params trace by default");
+    assert!(net.probe_records().is_empty(), "probes are opt-in");
+    // The tuned protocol reconverges in a few milliseconds on this ring,
+    // so probe faster than the blackout is long.
+    let interval = SimDuration::from_millis(2);
+    net.start_probes(&[(HostId(0), HostId(2)), (HostId(2), HostId(0))], interval);
+    net.run_for(SimDuration::from_secs(2));
+    let steady = net.probe_records().len();
+    assert!(steady >= 1500, "two flows at 500 Hz for 2 s: {steady}");
+    let delivered = net
+        .probe_records()
+        .iter()
+        .filter(|p| p.delivered.is_some())
+        .count();
+    assert!(
+        delivered * 100 >= steady * 95,
+        "steady state delivers probes: {delivered}/{steady}"
+    );
+    // Probe traffic stays out of the workload accounting.
+    assert!(net.deliveries().iter().all(|d| d.tag >> 63 == 0));
+
+    // Cut a ring link and let the network reconverge and hosts relearn.
+    let t = net.now() + SimDuration::from_millis(50);
+    net.schedule_link_down(t, LinkId(0));
+    net.run_for(SimDuration::from_millis(100));
+    assert!(net
+        .run_until_stable(net.now() + SimDuration::from_secs(30))
+        .is_some());
+    net.run_for(SimDuration::from_secs(5));
+
+    let timeline = autonet_trace::Timeline::build(net.trace_log().records());
+    let report = autonet_trace::InterruptionReport::build(
+        &net.probe_pairs(),
+        net.probe_records(),
+        &timeline,
+        net.now(),
+        autonet_trace::InterruptionConfig {
+            interval,
+            min_run: 2,
+        },
+    );
+    let windows: Vec<_> = report.windows().collect();
+    assert!(
+        !windows.is_empty(),
+        "a cut link must interrupt service: {report}"
+    );
+    for w in &windows {
+        assert!(w.start <= w.end);
+        assert!(
+            w.epoch.is_some(),
+            "every blackout is explained by a reconfiguration: {w:?}"
+        );
+        assert!(w.restored, "service comes back after reconvergence: {w:?}");
+    }
+    // The reconfiguration stalled the data plane; telemetry saw it.
+    let telemetry = net.telemetry().unwrap();
+    assert!(telemetry.metrics().counter("datapath.transmits") > 0);
+}
+
+#[test]
+fn tracing_off_disables_telemetry_entirely() {
+    let params = NetParams {
+        tracing: false,
+        ..NetParams::tuned()
+    };
+    let mut net = Network::new(gen::ring(4, 5), params, 1);
+    net.run_for(SimDuration::from_secs(5));
+    assert!(net.telemetry().is_none());
+    assert!(net.probe_records().is_empty());
+}

@@ -14,11 +14,19 @@
 //! - [`Timeline`] — reconstruction: merges the spine into a per-epoch
 //!   phase breakdown (failure detected → closed → tree stable → addresses
 //!   assigned → tables installed → reopened) with settle times.
+//! - [`CriticalPath`] — the cross-node causal chain of one epoch's
+//!   reconfiguration, attributing every nanosecond of trigger→reopen
+//!   latency to a named (node, phase) segment.
+//! - [`InterruptionReport`] — data-plane service-interruption analysis:
+//!   per-pair blackout windows from probe flows, attributed to the
+//!   reconfiguration epochs that explain them.
 //! - [`MetricsRegistry`] — counters, gauges and mergeable time
 //!   histograms, with per-epoch snapshots.
 //! - [`to_jsonl`] — a canonical, dependency-free JSONL serialization so
 //!   traces diff cleanly and golden-trace tests can assert byte equality.
 
+mod critical;
+mod interruption;
 mod jsonl;
 mod metrics;
 mod timeline;
@@ -26,6 +34,8 @@ mod timeline;
 use autonet_core::Event;
 use autonet_sim::SimTime;
 
+pub use critical::{CriticalPath, Segment};
+pub use interruption::{BlackoutWindow, InterruptionConfig, InterruptionReport, PairReport};
 pub use jsonl::to_jsonl;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use timeline::{EpochReport, Timeline};

@@ -81,12 +81,24 @@ impl Histogram {
     }
 
     /// An upper bound on the `q`-quantile (0.0..=1.0): the top edge of the
-    /// bucket containing it.
+    /// bucket containing it, by the nearest-rank definition (the smallest
+    /// recorded value with at least `⌈q·n⌉` observations at or below it).
+    ///
+    /// Edge cases are pinned down by unit tests: an empty histogram
+    /// answers zero for every `q`; `q` outside `[0, 1]` clamps; `q = 0.0`
+    /// is the minimum's bucket and `q = 1.0` the maximum's; `NaN` is
+    /// treated as `1.0` (the conservative bound) rather than silently
+    /// aliasing to the minimum through float-to-int saturation.
     pub fn quantile_upper_bound(&self, q: f64) -> SimDuration {
         if self.count == 0 {
             return SimDuration::ZERO;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        // The product can round up past an exact rank (0.57 * 100 is
+        // 57.000…01 in f64), so the rank is clamped back into 1..=count —
+        // without the upper clamp a sub-1.0 quantile could walk past the
+        // last populated bucket.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
@@ -248,6 +260,60 @@ mod tests {
         assert_eq!(h.mean().as_nanos(), (3_000_000 + 1) / 3);
         assert!(h.quantile_upper_bound(1.0) >= SimDuration::from_millis(3));
         assert!(h.quantile_upper_bound(0.1) <= SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: zero for any q, including NaN.
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile_upper_bound(0.5), SimDuration::ZERO);
+        assert_eq!(empty.quantile_upper_bound(f64::NAN), SimDuration::ZERO);
+
+        // Single populated bucket: every quantile answers its top edge.
+        let mut one = Histogram::new();
+        for _ in 0..10 {
+            one.record(SimDuration::from_nanos(700)); // bucket [512, 1024)
+        }
+        let edge = SimDuration::from_nanos(1023);
+        assert_eq!(one.quantile_upper_bound(0.0), edge);
+        assert_eq!(one.quantile_upper_bound(0.5), edge);
+        assert_eq!(one.quantile_upper_bound(1.0), edge);
+
+        // Two buckets: q = 0.0 is the minimum's bucket, q = 1.0 the
+        // maximum's; out-of-range and NaN q clamp instead of panicking or
+        // aliasing to the wrong end.
+        let mut two = Histogram::new();
+        two.record(SimDuration::from_nanos(1));
+        two.record(SimDuration::from_secs(1));
+        assert_eq!(two.quantile_upper_bound(0.0).as_nanos(), 1);
+        assert!(two.quantile_upper_bound(1.0) >= SimDuration::from_secs(1));
+        assert_eq!(
+            two.quantile_upper_bound(-3.0),
+            two.quantile_upper_bound(0.0)
+        );
+        assert_eq!(two.quantile_upper_bound(7.0), two.quantile_upper_bound(1.0));
+        assert_eq!(
+            two.quantile_upper_bound(f64::NAN),
+            two.quantile_upper_bound(1.0)
+        );
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(SimDuration::from_nanos(i * 37 + 1));
+        }
+        let mut last = SimDuration::ZERO;
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            let v = h.quantile_upper_bound(q);
+            assert!(v >= last, "quantile must be monotone: q={q} gave {v:?}");
+            last = v;
+        }
+        // A sub-1.0 quantile never exceeds the q = 1.0 bound, float
+        // rounding notwithstanding.
+        assert!(h.quantile_upper_bound(0.999_999) <= h.quantile_upper_bound(1.0));
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub struct EpochReport {
     pub closed_by_node: BTreeMap<usize, SimTime>,
     /// Last open per node.
     pub opened_by_node: BTreeMap<usize, SimTime>,
+    /// The node whose `ReconfigTriggered` came first (the detector).
+    pub detected_node: Option<usize>,
+    /// The node whose `TreeStable` came first (the root of this epoch).
+    pub root_node: Option<usize>,
+    /// Last *routed* table install per node (the distribution wave).
+    pub installs_by_node: BTreeMap<usize, SimTime>,
 }
 
 impl EpochReport {
@@ -158,7 +164,11 @@ impl Timeline {
             let t = rec.time;
             match &rec.event {
                 Event::ReconfigTriggered { epoch, .. } => {
-                    first(&mut report(&mut by_epoch, *epoch).detected, t);
+                    let r = report(&mut by_epoch, *epoch);
+                    if r.detected.is_none() {
+                        r.detected_node = Some(rec.node);
+                    }
+                    first(&mut r.detected, t);
                 }
                 Event::NetworkClosed { epoch } => {
                     let r = report(&mut by_epoch, *epoch);
@@ -167,7 +177,11 @@ impl Timeline {
                     r.closed_by_node.entry(rec.node).or_insert(t);
                 }
                 Event::TreeStable { epoch } => {
-                    first(&mut report(&mut by_epoch, *epoch).tree_stable, t);
+                    let r = report(&mut by_epoch, *epoch);
+                    if r.tree_stable.is_none() {
+                        r.root_node = Some(rec.node);
+                    }
+                    first(&mut r.tree_stable, t);
                 }
                 Event::AddressesAssigned { epoch, .. } => {
                     first(&mut report(&mut by_epoch, *epoch).addresses_assigned, t);
@@ -181,6 +195,7 @@ impl Timeline {
                         Some(assigned) if t >= assigned => {
                             first(&mut r.first_table, t);
                             r.tables_installed += 1;
+                            r.installs_by_node.insert(rec.node, t);
                         }
                         _ => r.clears += 1,
                     }

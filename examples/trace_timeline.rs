@@ -2,7 +2,7 @@
 //! typed event spine, and print the per-epoch phase breakdown plus the
 //! derived metrics — the observability workflow behind EXPERIMENTS.md E20.
 //!
-//! Run with: `cargo run --example trace_timeline [scenario]`
+//! Run with: `cargo run --example trace_timeline [scenario] [--critical-path]`
 //!
 //! Scenarios (the same three the golden-trace tests lock down):
 //!   single_link_cut        one trunk cut on a 4-switch ring (default)
@@ -12,6 +12,12 @@
 //! Plus E1's scenario from EXPERIMENTS.md (not a golden — used for the
 //! E20 phase-breakdown numbers):
 //!   src_link_cut           one trunk cut on the 30-switch SRC network
+//!
+//! `--critical-path` appends, for every epoch with a complete causal
+//! chain, the per-phase per-node critical path: which node's detect /
+//! close-propagation / tree-stabilize / address-assign /
+//! table-distribute / reopen step the reconfiguration latency is
+//! actually waiting on.
 
 use autonet::net::{NetParams, Network};
 use autonet::sim::{SimDuration, SimTime};
@@ -65,8 +71,19 @@ fn src_link_cut() -> Vec<TraceRecord> {
 }
 
 fn main() {
-    let scenario = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let critical = args.iter().any(|a| a == "--critical-path");
+    if let Some(flag) = args
+        .iter()
+        .find(|a| a.starts_with("--") && *a != "--critical-path")
+    {
+        eprintln!("unknown flag '{flag}'; the only flag is --critical-path");
+        std::process::exit(2);
+    }
+    let scenario = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "single_link_cut".to_string());
     let records = match scenario.as_str() {
         "single_link_cut" => single_link_cut(),
@@ -114,4 +131,18 @@ fn main() {
 
     println!("derived metrics:");
     println!("{}", tl.metrics());
+
+    if critical {
+        println!("\ncritical paths:");
+        let mut any = false;
+        for r in &tl.epochs {
+            if let Some(cp) = tl.critical_path(r.epoch) {
+                println!("{cp}");
+                any = true;
+            }
+        }
+        if !any {
+            println!("  (no epoch has a complete causal chain)");
+        }
+    }
 }

@@ -18,9 +18,18 @@ echo "==> golden traces"
 cargo test -q --test golden_traces
 
 echo "==> tracing overhead"
-cargo test -q --test determinism disabled_tracing_is_zero_cost_and_behavior_neutral
+cargo test -q --test determinism disabled_tracing
 
 echo "==> campaign corpus (release)"
 cargo test --release -q --test check_campaigns -- --ignored
+
+# Opt-in: regenerate the machine-readable experiment results at the repo
+# root (BENCH_reconfig.json, BENCH_interruption.json). Off by default —
+# the bench crate sits outside default-members.
+if [ "${AUTONET_BENCH_JSON:-0}" = "1" ]; then
+    echo "==> bench JSON (E1 reconfig, E21 interruption)"
+    cargo bench -q -p autonet-bench --bench exp_reconfig_time
+    cargo bench -q -p autonet-bench --bench exp_interruption
+fi
 
 echo "OK"

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Measure data-plane service interruption across a trunk cut: probe
+# flows between every host, per-pair blackout windows with epoch
+# attribution, and the critical path of the reconfiguration that caused
+# them (EXPERIMENTS.md E21).
+#
+# Usage: scripts/interruption.sh [topology]
+#   ring   4-switch ring, one dual-homed host per switch (default)
+#   src    the 30-switch SRC network from the paper
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo run --release --quiet --example interruption "${1:-ring}"

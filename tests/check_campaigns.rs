@@ -179,6 +179,67 @@ fn planted_skeptic_bug_is_caught_and_shrunk() {
     assert!(snippet.contains("assert_eq!(v.kind(), \"skeptic-hold\")"));
 }
 
+/// The hosted corpus: dual-homed hosts on every switch, probe flows
+/// running from first quiescence, and the blackout oracle armed. A trunk
+/// cut must leave only epoch-attributed blackout windows, and a host
+/// power cycle must not trip the oracle (its pairs are exempt — the
+/// outage *is* the fault).
+#[test]
+fn hosted_campaigns_explain_every_blackout() {
+    let params = NetParams::tuned();
+    let cfg = OracleConfig::from_params(&params.autopilot);
+    for (topo_seed, sim_seed) in [(3, 11), (5, 23)] {
+        let scenario = Scenario {
+            name: format!("hosted-cut-{topo_seed}"),
+            topo: TopoSpec::RandomConnectedHosts {
+                n: 5,
+                extra: 1,
+                per_switch: 1,
+                seed: topo_seed,
+            },
+            seed: sim_seed,
+            events: vec![
+                FaultEvent {
+                    at_ms: 500,
+                    op: FaultOp::LinkDown(0),
+                },
+                FaultEvent {
+                    at_ms: 3_000,
+                    op: FaultOp::HostPowerOff(1),
+                },
+                FaultEvent {
+                    at_ms: 6_000,
+                    op: FaultOp::HostPowerOn(1),
+                },
+            ],
+            settle_ms: 120_000,
+        };
+        let outcome = run_packet(&scenario, &params, &cfg);
+        assert!(
+            outcome.passed(),
+            "{}: hosted campaign failed: {}",
+            scenario.name,
+            outcome.violation.unwrap()
+        );
+        let report = outcome
+            .interruption
+            .expect("probes ran on a hosted topology");
+        assert_eq!(report.pairs.len(), 5, "one probe pair per host");
+        let delivered: u64 = report.pairs.iter().map(|p| p.delivered).sum();
+        assert!(delivered > 0, "{}: probes must flow", scenario.name);
+        for w in report.windows() {
+            let p = &report.pairs[w.pair as usize];
+            if p.src != 1 && p.dst != 1 {
+                assert!(
+                    w.epoch.is_some(),
+                    "{}: non-exempt blackout unexplained: {w:?}",
+                    scenario.name
+                );
+            }
+        }
+    }
+}
+
 /// The same engine and oracles over the slot-accurate backend: a cable is
 /// killed with line noise, the network must reconfigure around it and
 /// every oracle must stay silent.

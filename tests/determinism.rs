@@ -92,6 +92,62 @@ fn disabled_tracing_is_zero_cost_and_behavior_neutral() {
     }
 }
 
+/// The datapath side of the same guarantee: with tracing off, no probe
+/// or telemetry state is ever allocated (probes are opt-in, the
+/// telemetry block is `None`) and a hosted workload produces the exact
+/// same byte stream — identical delivery records, identical event log.
+#[test]
+fn disabled_tracing_keeps_the_datapath_byte_identical() {
+    let run = |tracing: bool| {
+        let params = NetParams {
+            tracing,
+            ..NetParams::tuned()
+        };
+        let mut topo = gen::torus(3, 3, 77);
+        gen::add_dual_homed_hosts(&mut topo, 1, 3);
+        let mut net = Network::new(topo, params, 9);
+        net.run_until_stable(SimTime::from_secs(60))
+            .expect("converges");
+        net.run_for(SimDuration::from_secs(3));
+        let dst = net.topology().host(HostId(5)).uid;
+        for i in 0..30 {
+            net.schedule_host_send(
+                net.now() + SimDuration::from_millis(5) * i,
+                HostId(0),
+                dst,
+                512,
+                500 + i,
+            );
+        }
+        net.schedule_link_down(net.now() + SimDuration::from_millis(60), LinkId(2));
+        net.run_for(SimDuration::from_secs(2));
+        net
+    };
+    let on = run(true);
+    let off = run(false);
+    assert!(on.telemetry().is_some(), "tuned params allocate telemetry");
+    assert!(off.telemetry().is_none(), "tracing off allocates none");
+    assert!(off.probe_records().is_empty(), "probes never ran");
+    let deliveries = |net: &Network| {
+        net.deliveries()
+            .iter()
+            .map(|d| format!("{:?}", d))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        deliveries(&on),
+        deliveries(&off),
+        "delivery stream must be bit-identical with tracing off"
+    );
+    let events = |net: &Network| {
+        net.events()
+            .iter()
+            .map(|e| format!("{} {:?}", e.time, e.kind))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(events(&on), events(&off), "event log must be bit-identical");
+}
+
 #[test]
 fn merged_trace_is_time_ordered() {
     let mut topo = gen::ring(4, 5);

@@ -18,8 +18,8 @@ use std::path::PathBuf;
 
 use autonet::net::{NetParams, Network, SlotNet};
 use autonet::sim::{SimDuration, SimTime};
-use autonet::topo::{gen, LinkId, SwitchId, Topology};
-use autonet::trace::{to_jsonl, TraceRecord};
+use autonet::topo::{gen, HostId, LinkId, SwitchId, Topology};
+use autonet::trace::{to_jsonl, InterruptionConfig, InterruptionReport, Timeline, TraceRecord};
 use autonet::wire::Uid;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -103,6 +103,46 @@ fn run_simultaneous_failures() -> Vec<TraceRecord> {
     net.trace_log().records().to_vec()
 }
 
+/// The hosted variant of the single link cut: probe flows across the cut,
+/// and the canonical `InterruptionReport` JSONL (per-pair counters plus
+/// every epoch-attributed blackout window) is golden too.
+fn run_interruption_single_link_cut() -> String {
+    let mut topo = gen::ring(4, 5);
+    gen::add_dual_homed_hosts(&mut topo, 1, 9);
+    let mut net = Network::new(topo, NetParams::tuned(), 1);
+    net.run_until_stable(SimTime::from_secs(60))
+        .expect("bring-up converges");
+    // Hosts learn addresses, then a steady probed baseline.
+    net.run_for(SimDuration::from_secs(3));
+    let interval = SimDuration::from_millis(2);
+    net.start_probes(
+        &[
+            (HostId(0), HostId(2)),
+            (HostId(2), HostId(0)),
+            (HostId(1), HostId(3)),
+        ],
+        interval,
+    );
+    net.run_for(SimDuration::from_secs(1));
+    net.schedule_link_down(net.now() + SimDuration::from_millis(10), LinkId(0));
+    net.run_for(SimDuration::from_millis(50));
+    net.run_until_stable(net.now() + SimDuration::from_secs(60))
+        .expect("heals around the cut");
+    net.run_for(SimDuration::from_secs(2));
+    let timeline = Timeline::build(net.trace_log().records());
+    let report = InterruptionReport::build(
+        &net.probe_pairs(),
+        net.probe_records(),
+        &timeline,
+        net.now(),
+        InterruptionConfig {
+            interval,
+            min_run: 2,
+        },
+    );
+    report.to_jsonl()
+}
+
 #[test]
 fn golden_single_link_cut() {
     assert_golden("single_link_cut", &to_jsonl(&run_single_link_cut()));
@@ -118,6 +158,14 @@ fn golden_simultaneous_failures() {
     assert_golden(
         "simultaneous_failures",
         &to_jsonl(&run_simultaneous_failures()),
+    );
+}
+
+#[test]
+fn golden_interruption_single_link_cut() {
+    assert_golden(
+        "interruption_single_link_cut",
+        &run_interruption_single_link_cut(),
     );
 }
 

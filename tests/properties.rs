@@ -430,6 +430,68 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case is a full packet-level campaign; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Blackout windows from random hosted fault campaigns are always
+    /// well-formed: ordered within their pair, non-overlapping, bounded
+    /// by the run horizon, attributed to a reconfiguration epoch, and at
+    /// least `min_run` probes long. (The in-engine blackout oracle checks
+    /// containment in the epoch's trigger→open span; this pins down the
+    /// report's own shape.)
+    #[test]
+    fn blackout_windows_are_well_formed_on_random_campaigns(
+        n in 3usize..6,
+        extra in 0usize..3,
+        topo_seed in 1u64..500,
+        sim_seed in 1u64..500,
+        link in 0usize..2,
+        cut_ms in 200u64..1_500,
+    ) {
+        use autonet_check::{run_packet, FaultEvent, FaultOp, OracleConfig, Scenario, TopoSpec};
+        let params = autonet::net::NetParams::tuned();
+        let cfg = OracleConfig::from_params(&params.autopilot);
+        let scenario = Scenario {
+            name: format!("prop-hosted-{topo_seed}-{sim_seed}"),
+            topo: TopoSpec::RandomConnectedHosts {
+                n,
+                extra,
+                per_switch: 1,
+                seed: topo_seed,
+            },
+            seed: sim_seed,
+            events: vec![FaultEvent {
+                at_ms: cut_ms,
+                op: FaultOp::LinkDown(link),
+            }],
+            settle_ms: 120_000,
+        };
+        let outcome = run_packet(&scenario, &params, &cfg);
+        prop_assert!(
+            outcome.passed(),
+            "{}: {}",
+            scenario.name,
+            outcome.violation.unwrap()
+        );
+        let report = outcome.interruption.expect("hosted topology must probe");
+        prop_assert_eq!(report.pairs.len(), n, "one ring probe pair per host");
+        for w in report.windows() {
+            prop_assert!(w.start <= w.end, "window runs backwards: {w:?}");
+            prop_assert!(w.end <= report.horizon, "window outlives the run: {w:?}");
+            prop_assert!(w.epoch.is_some(), "unexplained blackout: {w:?}");
+            prop_assert!(w.probes_lost >= 2, "window below min_run: {w:?}");
+        }
+        for p in &report.pairs {
+            prop_assert!(
+                p.windows.windows(2).all(|ws| ws[0].end <= ws[1].start),
+                "pair {} windows overlap or are unordered",
+                p.pair
+            );
+        }
+    }
+}
+
 /// Deterministic (non-proptest) property: the reference topology builder
 /// produces trees whose levels are exactly BFS distance from the minimum
 /// UID, across many seeds.
