@@ -1,0 +1,173 @@
+//! E22 — sim-kernel scale: 256–1024-switch data centers (ROADMAP).
+//!
+//! The paper ran 31 switches; modern reproductions want thousands. This
+//! bench locks in the kernel's scaling trajectory: for fat-tree and
+//! expander topologies at 256, 576 and 1024 switches it brings the
+//! network up from cold, cuts a core trunk, and reports wall-clock cost,
+//! kernel throughput (events/sec) and the wall-clock price of one
+//! simulated second. The acceptance bar: the 1024-switch fat-tree
+//! trunk-cut reconfiguration completes in under 10 s of wall clock.
+//!
+//! `SCALE_SMOKE=1` runs only the 256-switch rows (the CI smoke tier).
+
+use autonet_bench::{print_table, write_bench_json};
+use autonet_net::{NetParams, Network};
+use autonet_sim::{SimDuration, SimTime};
+use autonet_topo::{gen, LinkId, Topology};
+use std::time::Instant;
+
+struct Row {
+    name: String,
+    switches: usize,
+    links: usize,
+    bring_sim: SimDuration,
+    bring_wall: f64,
+    cut_sim: SimDuration,
+    cut_wall: f64,
+    events: u64,
+    events_per_sec: f64,
+    wall_per_sim_sec: f64,
+}
+
+/// Cold bring-up, then a single trunk cut, both timed against the wall.
+fn measure(name: &str, topo: Topology) -> Option<Row> {
+    let switches = topo.num_switches();
+    let links = topo.num_links();
+    let mut net = Network::new(topo, NetParams::scale(), 2);
+
+    let wall = Instant::now();
+    net.run_until_stable_every(SimDuration::from_millis(100), SimTime::from_secs(300))?;
+    let bring_wall = wall.elapsed().as_secs_f64();
+    let bring_sim = SimDuration::from_nanos(net.now().as_nanos());
+
+    let fault = net.now() + SimDuration::from_millis(10);
+    net.schedule_link_down(fault, LinkId(0));
+    let cut_from = net.now();
+    let wall = Instant::now();
+    net.run_until_stable_every(
+        SimDuration::from_millis(50),
+        net.now() + SimDuration::from_secs(60),
+    )?;
+    let cut_wall = wall.elapsed().as_secs_f64();
+    let cut_sim = net.now().saturating_since(cut_from);
+
+    let events = net.events_processed();
+    let total_wall = bring_wall + cut_wall;
+    let total_sim = net.now().as_nanos() as f64 / 1e9;
+    Some(Row {
+        name: name.to_string(),
+        switches,
+        links,
+        bring_sim,
+        bring_wall,
+        cut_sim,
+        cut_wall,
+        events,
+        events_per_sec: events as f64 / total_wall,
+        wall_per_sim_sec: total_wall / total_sim,
+    })
+}
+
+fn main() {
+    let smoke = std::env::var("SCALE_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    println!(
+        "E22: sim-kernel scale (scale preset{})",
+        if smoke { ", smoke tier" } else { "" }
+    );
+
+    // The three fat-tree rows (pods x aggregation x core) and matched
+    // expander graphs at the same switch counts.
+    let mut cases: Vec<(String, Topology)> = vec![
+        ("fat_tree 256".into(), gen::fat_tree(&[8, 2, 4], 99)),
+        ("expander 256".into(), gen::expander(256, 4, 99)),
+    ];
+    if !smoke {
+        cases.push(("fat_tree 576".into(), gen::fat_tree(&[8, 3, 6], 99)));
+        cases.push(("expander 576".into(), gen::expander(576, 4, 99)));
+        cases.push(("fat_tree 1024".into(), gen::fat_tree(&[8, 4, 8], 99)));
+        cases.push(("expander 1024".into(), gen::expander(1024, 4, 99)));
+    }
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for (name, topo) in cases {
+        let n = topo.num_switches();
+        match measure(&name, topo) {
+            Some(row) => {
+                table.push(vec![
+                    row.name.clone(),
+                    row.switches.to_string(),
+                    row.links.to_string(),
+                    format!("{:.1}", row.bring_wall),
+                    format!("{:.1}", row.cut_wall),
+                    format!("{:.0}k", row.events_per_sec / 1e3),
+                    format!("{:.1}", row.wall_per_sim_sec),
+                ]);
+                rows.push(row);
+            }
+            None => println!("  {name} ({n} switches): DID NOT CONVERGE"),
+        }
+    }
+    print_table(
+        "E22: bring-up + trunk-cut cost by topology",
+        &[
+            "topology",
+            "switches",
+            "links",
+            "bring-up wall (s)",
+            "cut wall (s)",
+            "events/s",
+            "wall per sim-s",
+        ],
+        &table,
+    );
+
+    let json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"topology\": \"{}\", \"switches\": {}, \"links\": {}, \
+                 \"bringup_sim_ms\": {:.3}, \"bringup_wall_s\": {:.3}, \
+                 \"cut_sim_ms\": {:.3}, \"cut_wall_s\": {:.3}, \
+                 \"events\": {}, \"events_per_sec\": {:.0}, \
+                 \"wall_per_sim_sec\": {:.3} }}",
+                r.name,
+                r.switches,
+                r.links,
+                r.bring_sim.as_millis_f64(),
+                r.bring_wall,
+                r.cut_sim.as_millis_f64(),
+                r.cut_wall,
+                r.events,
+                r.events_per_sec,
+                r.wall_per_sim_sec,
+            )
+        })
+        .collect();
+    let body = format!(
+        "{{\n  \"experiment\": \"scale\",\n  \"preset\": \"scale\",\n  \
+         \"smoke\": {},\n  \"topologies\": [\n{}\n  ]\n}}\n",
+        smoke,
+        json.join(",\n")
+    );
+    // The smoke tier writes its own artifact so a CI smoke run never
+    // clobbers the committed full trajectory point.
+    let path = write_bench_json(if smoke { "scale_smoke" } else { "scale" }, &body);
+    println!("wrote {}", path.display());
+
+    // The acceptance bar from the roadmap: a 1024-switch fat-tree heals a
+    // core trunk cut in under 10 s of wall clock.
+    if let Some(big) = rows.iter().find(|r| r.name == "fat_tree 1024") {
+        assert!(
+            big.cut_wall < 10.0,
+            "1024-switch trunk-cut reconfiguration took {:.1} s wall (bar: 10 s)",
+            big.cut_wall
+        );
+        println!(
+            "acceptance: 1024-switch cut healed in {:.1} s wall (< 10 s)",
+            big.cut_wall
+        );
+    }
+}

@@ -23,8 +23,8 @@ fn row(name: &str, topo: &Topology, rows: &mut Vec<Vec<String>>) {
     // Pairs with the same legal and shortest distance.
     let mut optimal_pairs = 0u64;
     let mut pairs = 0u64;
-    for a in &global.switches {
-        for b in &global.switches {
+    for a in global.switches.iter() {
+        for b in global.switches.iter() {
             if a.uid == b.uid {
                 continue;
             }

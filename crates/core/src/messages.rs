@@ -189,6 +189,21 @@ impl std::error::Error for MsgCodecError {}
 
 // ---- Encoding helpers ----------------------------------------------------
 
+/// Reports describing more switches than this use the compact encoding
+/// (tags 12/13): a UID table up front, then per-switch entries that name
+/// parents and neighbors by u16 table index instead of repeating 6-byte
+/// UIDs. The classic encoding repeats the neighbor UID on every link, so a
+/// topology flood grows ~107 bytes per switch and overflows the packet
+/// format's 64 KB data field near 600 switches. The threshold keeps every
+/// paper-scale network (the real Autonet had ~30 switches; our goldens use
+/// ≤ 100) on the classic bytes — timings and golden traces are untouched —
+/// while the E22 scale rows (256/576/1024) fit comfortably. The choice
+/// depends only on message content, so it is deterministic.
+const COMPACT_REPORT_THRESHOLD: usize = 128;
+
+/// Sentinel index meaning "a literal UID follows" in a compact reference.
+const UID_REF_LITERAL: u16 = u16::MAX;
+
 struct Writer {
     buf: Vec<u8>,
 }
@@ -242,10 +257,56 @@ impl Writer {
         }
     }
 
-    fn report(&mut self, r: &SubtreeReport) {
-        self.u16(r.switches.len() as u16);
-        for s in &r.switches {
+    fn report(&mut self, switches: &[SwitchInfo]) {
+        self.u16(switches.len() as u16);
+        for s in switches {
             self.switch_info(s);
+        }
+    }
+
+    /// A UID named by table index when it appears in the report's switch
+    /// array, or by [`UID_REF_LITERAL`] + inline UID when it does not
+    /// (links crossing the subtree boundary name switches outside it).
+    fn uid_ref(&mut self, u: Uid, idx: &std::collections::BTreeMap<Uid, u16>) {
+        match idx.get(&u) {
+            Some(&i) => self.u16(i),
+            None => {
+                self.u16(UID_REF_LITERAL);
+                self.uid(u);
+            }
+        }
+    }
+
+    /// Two port numbers in one byte. Ports index `0..MAX_PORTS` (13), so
+    /// each fits a nibble.
+    fn port_pair(&mut self, a: PortIndex, b: PortIndex) {
+        assert!(a < 16 && b < 16, "port out of nibble range: {a}/{b}");
+        self.u8((a << 4) | b);
+    }
+
+    fn compact_report(&mut self, switches: &[SwitchInfo]) {
+        let idx: std::collections::BTreeMap<Uid, u16> = switches
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.uid, i as u16))
+            .collect();
+        self.u16(switches.len() as u16);
+        for s in switches {
+            self.uid(s.uid);
+        }
+        for s in switches {
+            self.u16(s.proposed_number);
+            self.uid_ref(s.parent, &idx);
+            assert!(s.links.len() < 16 && s.host_ports.len() < 16);
+            self.port_pair(s.links.len() as PortIndex, s.host_ports.len() as PortIndex);
+            self.u8(s.parent_port);
+            for l in &s.links {
+                self.port_pair(l.local_port, l.neighbor_port);
+                self.uid_ref(l.neighbor, &idx);
+            }
+            for &p in &s.host_ports {
+                self.u8(p);
+            }
         }
     }
 }
@@ -336,6 +397,59 @@ impl<'a> Reader<'a> {
         Ok(SubtreeReport { switches })
     }
 
+    /// Resolves a compact UID reference against the report's UID table.
+    fn uid_ref(&mut self, uids: &[Uid]) -> Result<Uid, MsgCodecError> {
+        let i = self.u16()?;
+        if i == UID_REF_LITERAL {
+            self.uid()
+        } else {
+            uids.get(i as usize).copied().ok_or(MsgCodecError::BadValue)
+        }
+    }
+
+    /// Two nibble-packed port numbers.
+    fn port_pair(&mut self) -> Result<(PortIndex, PortIndex), MsgCodecError> {
+        let b = self.u8()?;
+        Ok((b >> 4, b & 0x0F))
+    }
+
+    fn compact_report(&mut self) -> Result<SubtreeReport, MsgCodecError> {
+        let n = self.u16()? as usize;
+        let mut uids = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            uids.push(self.uid()?);
+        }
+        let mut switches = Vec::with_capacity(n.min(4096));
+        for &uid in &uids {
+            let proposed_number: SwitchNumber = self.u16()?;
+            let parent = self.uid_ref(&uids)?;
+            let (n_links, n_hosts) = self.port_pair()?;
+            let parent_port = self.u8()?;
+            let mut links = Vec::with_capacity(n_links as usize);
+            for _ in 0..n_links {
+                let (local_port, neighbor_port) = self.port_pair()?;
+                links.push(LinkInfo {
+                    local_port,
+                    neighbor: self.uid_ref(&uids)?,
+                    neighbor_port,
+                });
+            }
+            let mut host_ports = Vec::with_capacity(n_hosts as usize);
+            for _ in 0..n_hosts {
+                host_ports.push(self.u8()?);
+            }
+            switches.push(SwitchInfo {
+                uid,
+                proposed_number,
+                parent,
+                parent_port,
+                links,
+                host_ports,
+            });
+        }
+        Ok(SubtreeReport { switches })
+    }
+
     fn done(&self) -> Result<(), MsgCodecError> {
         if self.at == self.buf.len() {
             Ok(())
@@ -403,10 +517,17 @@ impl ControlMsg {
                 w.pos(sender_pos);
             }
             ControlMsg::TopologyReport { epoch, seq, report } => {
-                w.u8(5);
-                w.u64(epoch.0);
-                w.u64(*seq);
-                w.report(report);
+                if report.switches.len() > COMPACT_REPORT_THRESHOLD {
+                    w.u8(12);
+                    w.u64(epoch.0);
+                    w.u64(*seq);
+                    w.compact_report(&report.switches);
+                } else {
+                    w.u8(5);
+                    w.u64(epoch.0);
+                    w.u64(*seq);
+                    w.report(&report.switches);
+                }
             }
             ControlMsg::TopologyReportAck { epoch, seq } => {
                 w.u8(6);
@@ -414,16 +535,34 @@ impl ControlMsg {
                 w.u64(*seq);
             }
             ControlMsg::TopologyDown { epoch, global } => {
-                w.u8(7);
-                w.u64(epoch.0);
-                w.uid(global.root);
-                w.report(&SubtreeReport {
-                    switches: global.switches.clone(),
-                });
-                w.u16(global.numbers.len() as u16);
-                for (&uid, &num) in &global.numbers {
-                    w.uid(uid);
-                    w.u16(num);
+                if global.switches.len() > COMPACT_REPORT_THRESHOLD {
+                    w.u8(13);
+                    w.u64(epoch.0);
+                    w.uid(global.root);
+                    w.compact_report(&global.switches);
+                    // Number assignments name switches by table index too —
+                    // the keys are (almost) exactly the report's UIDs.
+                    let idx: std::collections::BTreeMap<Uid, u16> = global
+                        .switches
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| (s.uid, i as u16))
+                        .collect();
+                    w.u16(global.numbers.len() as u16);
+                    for (&uid, &num) in global.numbers.iter() {
+                        w.uid_ref(uid, &idx);
+                        w.u16(num);
+                    }
+                } else {
+                    w.u8(7);
+                    w.u64(epoch.0);
+                    w.uid(global.root);
+                    w.report(&global.switches);
+                    w.u16(global.numbers.len() as u16);
+                    for (&uid, &num) in global.numbers.iter() {
+                        w.uid(uid);
+                        w.u16(num);
+                    }
                 }
             }
             ControlMsg::TopologyDownAck { epoch } => {
@@ -541,8 +680,8 @@ impl ControlMsg {
                     global: GlobalTopology {
                         epoch,
                         root,
-                        switches,
-                        numbers,
+                        switches: std::sync::Arc::new(switches),
+                        numbers: std::sync::Arc::new(numbers),
                     },
                 }
             }
@@ -554,6 +693,33 @@ impl ControlMsg {
                 host_uid: r.uid()?,
                 addr: ShortAddress::from_raw(r.u16()?),
             },
+            12 => ControlMsg::TopologyReport {
+                epoch: Epoch(r.u64()?),
+                seq: r.u64()?,
+                report: r.compact_report()?,
+            },
+            13 => {
+                let epoch = Epoch(r.u64()?);
+                let root = r.uid()?;
+                let report = r.compact_report()?;
+                let uids: Vec<Uid> = report.switches.iter().map(|s| s.uid).collect();
+                let n = r.u16()? as usize;
+                let mut numbers = std::collections::BTreeMap::new();
+                for _ in 0..n {
+                    let uid = r.uid_ref(&uids)?;
+                    let num = r.u16()?;
+                    numbers.insert(uid, num);
+                }
+                ControlMsg::TopologyDown {
+                    epoch,
+                    global: GlobalTopology {
+                        epoch,
+                        root,
+                        switches: std::sync::Arc::new(report.switches),
+                        numbers: std::sync::Arc::new(numbers),
+                    },
+                }
+            }
             11 => {
                 let n = r.u8()? as usize;
                 let mut route = Vec::with_capacity(n);
@@ -683,8 +849,8 @@ mod tests {
                 global: GlobalTopology {
                     epoch: Epoch(9),
                     root: Uid::new(1),
-                    switches: vec![sample_info()],
-                    numbers,
+                    switches: std::sync::Arc::new(vec![sample_info()]),
+                    numbers: std::sync::Arc::new(numbers),
                 },
             },
             ControlMsg::TopologyDownAck { epoch: Epoch(9) },
@@ -749,6 +915,107 @@ mod tests {
         for msg in all_samples() {
             assert_eq!(msg.wire_size(), msg.encode().len());
         }
+    }
+
+    /// A dense synthetic report: `n` switches, 12 links each, neighbors
+    /// chosen in-table except one boundary link per switch.
+    fn big_report(n: u64) -> SubtreeReport {
+        let switches = (0..n)
+            .map(|i| SwitchInfo {
+                uid: Uid::new(1000 + i),
+                proposed_number: i as SwitchNumber,
+                parent: Uid::new(1000 + (i / 2)),
+                parent_port: (i % 12) as PortIndex + 1,
+                links: (0..12)
+                    .map(|p| LinkInfo {
+                        local_port: p + 1,
+                        neighbor: if p == 0 {
+                            Uid::new(5_000_000 + i) // outside the report
+                        } else {
+                            Uid::new(1000 + ((i + p as u64 * 7) % n))
+                        },
+                        neighbor_port: 12 - p,
+                    })
+                    .collect(),
+                host_ports: vec![],
+            })
+            .collect();
+        SubtreeReport { switches }
+    }
+
+    #[test]
+    fn big_reports_roundtrip_compactly() {
+        let report = big_report(1024);
+        let msg = ControlMsg::TopologyReport {
+            epoch: Epoch(3),
+            seq: 1,
+            report: report.clone(),
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes[0], 12, "large report should take the compact tag");
+        assert_eq!(ControlMsg::decode(&bytes).expect("decode"), msg);
+
+        let numbers = report
+            .switches
+            .iter()
+            .map(|s| (s.uid, s.proposed_number))
+            .collect();
+        let down = ControlMsg::TopologyDown {
+            epoch: Epoch(3),
+            global: GlobalTopology {
+                epoch: Epoch(3),
+                root: report.switches[0].uid,
+                switches: std::sync::Arc::new(report.switches.clone()),
+                numbers: std::sync::Arc::new(numbers),
+            },
+        };
+        let bytes = down.encode();
+        assert_eq!(bytes[0], 13, "large flood should take the compact tag");
+        assert_eq!(ControlMsg::decode(&bytes).expect("decode"), down);
+        // The point of the exercise: a 1024-switch, degree-12 flood must
+        // fit the packet format's 64 KB data field.
+        assert!(
+            bytes.len() <= 64 * 1024,
+            "1024-switch TopologyDown is {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn small_reports_keep_the_classic_bytes() {
+        // Networks at or below the threshold — every golden trace, every
+        // paper-scale experiment — must encode exactly as before, so
+        // transmission and CPU charges (hence timestamps) are unchanged.
+        let report = big_report(COMPACT_REPORT_THRESHOLD as u64);
+        let msg = ControlMsg::TopologyReport {
+            epoch: Epoch(3),
+            seq: 1,
+            report,
+        };
+        let bytes = msg.encode();
+        assert_eq!(bytes[0], 5, "threshold-sized report keeps the classic tag");
+        assert_eq!(ControlMsg::decode(&bytes).expect("decode"), msg);
+    }
+
+    #[test]
+    fn compact_encoding_beats_classic_per_switch_cost() {
+        let report = big_report(1024);
+        let classic_estimate: usize = report
+            .switches
+            .iter()
+            .map(|s| 6 + 2 + 6 + 1 + 2 + s.links.len() * 8 + 2 + s.host_ports.len())
+            .sum();
+        let msg = ControlMsg::TopologyReport {
+            epoch: Epoch(3),
+            seq: 1,
+            report,
+        };
+        assert!(
+            msg.wire_size() < classic_estimate / 2,
+            "compact {} vs classic ≈ {}",
+            msg.wire_size(),
+            classic_estimate
+        );
     }
 
     #[test]

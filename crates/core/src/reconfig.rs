@@ -395,6 +395,27 @@ impl ReconfigEngine {
                 self.report_acked = true;
             }
             ControlMsg::TopologyDown { global, .. } => {
+                // Before adopting, check the topology tells the truth about
+                // *this* switch: exactly one entry, under our actual
+                // parent. A mismatch means the root terminated on stale
+                // subtree state (our re-parenting was still in flight when
+                // it collected reports) — the remedy for any detected
+                // inconsistency is another reconfiguration (§6.2).
+                let mine: Vec<&SwitchInfo> = global
+                    .switches
+                    .iter()
+                    .filter(|s| s.uid == self.uid)
+                    .collect();
+                let truthful = mine.len() == 1
+                    && mine[0].parent == self.pos.parent
+                    && mine[0].parent_port == self.pos.parent_port;
+                if !self.completed && !truthful {
+                    let neighbors = self.latest_neighbors.clone();
+                    let (proposed, hosts) = (self.proposed_number, self.host_ports.clone());
+                    let epoch = self.epoch.next();
+                    out.extend(self.reset_for_epoch(now, epoch, neighbors, proposed, hosts));
+                    return out;
+                }
                 out.push(ReconfigOutput::Send {
                     port,
                     msg: ControlMsg::TopologyDownAck { epoch: self.epoch },
@@ -674,15 +695,28 @@ impl ReconfigEngine {
             return;
         }
         if is_root {
+            let report = match self.termination {
+                TerminationMode::Stability => self.build_report(),
+                TerminationMode::RootQuiescence(_) => self.build_report_lenient(),
+            };
+            // Stability can hold at the root while a re-parenting notice is
+            // still in flight along the old parent chain: the moved switch
+            // then appears in both its old parent's (stale but
+            // version-current) report and its new parent's fresh one. Such
+            // a snapshot is not a tree; refuse to terminate on it. The
+            // in-flight position advert will break a child report's
+            // validity when it lands, and stability re-establishes over
+            // consistent state.
+            if matches!(self.termination, TerminationMode::Stability)
+                && !report.describes_tree(self.uid)
+            {
+                return;
+            }
             // Termination detected: build the global topology, assign
             // numbers, flood it down.
             out.push(ReconfigOutput::Event(ReconfigEvent::RootTerminated(
                 self.epoch,
             )));
-            let report = match self.termination {
-                TerminationMode::Stability => self.build_report(),
-                TerminationMode::RootQuiescence(_) => self.build_report_lenient(),
-            };
             let numbers = assign_switch_numbers(&report.switches);
             out.push(ReconfigOutput::Event(ReconfigEvent::AddressesAssigned(
                 self.epoch,
@@ -691,8 +725,8 @@ impl ReconfigEngine {
             let global = GlobalTopology {
                 epoch: self.epoch,
                 root: self.uid,
-                switches: report.switches,
-                numbers,
+                switches: std::sync::Arc::new(report.switches),
+                numbers: std::sync::Arc::new(numbers),
             };
             self.complete(now, global, out);
         } else {
@@ -1201,6 +1235,159 @@ mod tests {
         let outs = net.engines[0].on_msg(net.now, 9, &rogue);
         assert!(outs.is_empty());
         assert_eq!(net.engines[0].position(), pos_before);
+    }
+
+    #[test]
+    fn untruthful_topology_down_triggers_fresh_epoch() {
+        // Engine 50 adopts neighbor 10 (port 1) as parent, then receives a
+        // down-flood whose topology still shows it under a stale parent —
+        // the fingerprint of a root that terminated while 50's
+        // re-parenting advert was in flight. The engine must reject the
+        // topology and start the next epoch instead of completing.
+        let mut e = ReconfigEngine::new(Uid::new(50), &params());
+        let mut nbrs = BTreeMap::new();
+        nbrs.insert(
+            1,
+            NeighborInfo {
+                uid: Uid::new(10),
+                their_port: 2,
+            },
+        );
+        let _ = e.start(SimTime::ZERO, nbrs, 1, vec![]);
+        let epoch = e.epoch();
+        let _ = e.on_msg(
+            SimTime::from_micros(10),
+            1,
+            &ControlMsg::TreePosition {
+                epoch,
+                seq: 1,
+                from_port: 2,
+                pos: TreePosition::myself(Uid::new(10)),
+            },
+        );
+        assert_eq!(e.position().parent, Uid::new(10));
+        let entry = |parent: u64, parent_port: PortIndex| SwitchInfo {
+            uid: Uid::new(50),
+            proposed_number: 1,
+            parent: Uid::new(parent),
+            parent_port,
+            links: Vec::new(),
+            host_ports: Vec::new(),
+        };
+        let root_info = SwitchInfo {
+            uid: Uid::new(10),
+            proposed_number: 1,
+            parent: Uid::new(10),
+            parent_port: 0,
+            links: Vec::new(),
+            host_ports: Vec::new(),
+        };
+        let stale = GlobalTopology {
+            epoch,
+            root: Uid::new(10),
+            switches: std::sync::Arc::new(vec![root_info.clone(), entry(99, 4)]),
+            numbers: std::sync::Arc::new(BTreeMap::new()),
+        };
+        let outs = e.on_msg(
+            SimTime::from_micros(20),
+            1,
+            &ControlMsg::TopologyDown {
+                epoch,
+                global: stale,
+            },
+        );
+        assert!(!e.is_completed(), "stale topology must not be adopted");
+        assert_eq!(e.epoch(), epoch.next(), "a fresh epoch must start");
+        assert!(
+            outs.iter()
+                .any(|o| matches!(o, ReconfigOutput::Event(ReconfigEvent::Started(ep)) if *ep == epoch.next())),
+            "{outs:?}"
+        );
+        // Re-adopt the parent in the new epoch; a truthful topology then
+        // completes normally.
+        let _ = e.on_msg(
+            SimTime::from_micros(30),
+            1,
+            &ControlMsg::TreePosition {
+                epoch: epoch.next(),
+                seq: 1,
+                from_port: 2,
+                pos: TreePosition::myself(Uid::new(10)),
+            },
+        );
+        assert_eq!(e.position().parent, Uid::new(10));
+        let good = GlobalTopology {
+            epoch: epoch.next(),
+            root: Uid::new(10),
+            switches: std::sync::Arc::new(vec![root_info, entry(10, 1)]),
+            numbers: std::sync::Arc::new(BTreeMap::new()),
+        };
+        let _ = e.on_msg(
+            SimTime::from_micros(40),
+            1,
+            &ControlMsg::TopologyDown {
+                epoch: epoch.next(),
+                global: good,
+            },
+        );
+        assert!(e.is_completed());
+    }
+
+    #[test]
+    fn duplicated_entry_in_topology_down_is_rejected() {
+        let mut e = ReconfigEngine::new(Uid::new(50), &params());
+        let mut nbrs = BTreeMap::new();
+        nbrs.insert(
+            1,
+            NeighborInfo {
+                uid: Uid::new(10),
+                their_port: 2,
+            },
+        );
+        let _ = e.start(SimTime::ZERO, nbrs, 1, vec![]);
+        let epoch = e.epoch();
+        let _ = e.on_msg(
+            SimTime::from_micros(10),
+            1,
+            &ControlMsg::TreePosition {
+                epoch,
+                seq: 1,
+                from_port: 2,
+                pos: TreePosition::myself(Uid::new(10)),
+            },
+        );
+        let mine = SwitchInfo {
+            uid: Uid::new(50),
+            proposed_number: 1,
+            parent: Uid::new(10),
+            parent_port: 1,
+            links: Vec::new(),
+            host_ports: Vec::new(),
+        };
+        let dup = GlobalTopology {
+            epoch,
+            root: Uid::new(10),
+            switches: std::sync::Arc::new(vec![
+                SwitchInfo {
+                    uid: Uid::new(10),
+                    proposed_number: 1,
+                    parent: Uid::new(10),
+                    parent_port: 0,
+                    links: Vec::new(),
+                    host_ports: Vec::new(),
+                },
+                mine.clone(),
+                mine,
+            ]),
+            numbers: std::sync::Arc::new(BTreeMap::new()),
+        };
+        let _ = e.on_msg(
+            SimTime::from_micros(20),
+            1,
+            &ControlMsg::TopologyDown { epoch, global: dup },
+        );
+        assert!(!e.is_completed());
+        assert_eq!(e.epoch(), epoch.next());
     }
 
     #[test]

@@ -110,6 +110,8 @@ impl RouteComputer {
         // Deduplicate links: keep one GLink per (end, end) pair reported by
         // both sides.
         let mut links: Vec<GLink> = Vec::new();
+        let mut seen: std::collections::BTreeSet<(usize, PortIndex, usize, PortIndex)> =
+            std::collections::BTreeSet::new();
         for (ai, s) in global.switches.iter().enumerate() {
             for l in &s.links {
                 let Some(&bi) = index.get(&l.neighbor) else {
@@ -140,7 +142,7 @@ impl RouteComputer {
                     b,
                     b_port,
                 };
-                if !links.contains(&glink) {
+                if seen.insert((a, a_port, b, b_port)) {
                     links.push(glink);
                 }
             }
@@ -317,11 +319,21 @@ impl RouteComputer {
     /// Minimal legal hop counts from the fresh state at `src` to every
     /// (node, phase) state, by forward BFS.
     fn legal_dists_from(&self, src: usize) -> Vec<u32> {
+        self.legal_dists_from_state(src, Phase::Up)
+    }
+
+    /// Minimal legal hop counts from the state `(src, start)` to every
+    /// (node, phase) state, by forward BFS. The workhorse of table
+    /// synthesis: a switch needs one field per in-phase plus one per
+    /// outgoing link's landing state — O(degree) BFS per table — where a
+    /// reverse field per destination would cost O(switches) BFS per table
+    /// and make 1024-switch reconfigurations quadratic.
+    fn legal_dists_from_state(&self, src: usize, start: Phase) -> Vec<u32> {
         let n = self.uids.len();
         let mut dist = vec![u32::MAX; n * 2];
         let mut queue = std::collections::VecDeque::new();
-        dist[self.state(src, Phase::Up)] = 0;
-        queue.push_back((src, Phase::Up));
+        dist[self.state(src, start)] = 0;
+        queue.push_back((src, start));
         while let Some((u, phase)) = queue.pop_front() {
             let d = dist[self.state(u, phase)];
             for &(li, v) in &self.adj[u] {
@@ -341,6 +353,12 @@ impl RouteComputer {
             }
         }
         dist
+    }
+
+    /// Distance from a forward-BFS field to node `d`, minimized over the
+    /// phase the packet arrives in (delivery happens in either phase).
+    fn dist_to_node(&self, field: &[u32], d: usize) -> u32 {
+        field[self.state(d, Phase::Up)].min(field[self.state(d, Phase::Down)])
     }
 
     /// Whether some minimal legal route of length `total` crosses `link`.
@@ -516,6 +534,40 @@ pub fn compute_forwarding_table(
     }
 
     // --- Unicast entries per destination switch --------------------------
+    // Forward distance fields, computed once per table: from my own two
+    // in-phases, and from the landing state of each of my links (a hop out
+    // of an `up` link lands in `(far, Up)`, a hop down in `(far, Down)`).
+    // Next hops for *every* destination fall out of the minimality
+    // equality `dist(far) + 1 == dist(me)` over these O(degree) fields —
+    // identical tables to a reverse BFS per destination at a fraction of
+    // the cost (legal distances are phase-path lengths either way).
+    let (from_me_up, from_me_down, far_fields) = match kind {
+        RouteKind::UpDown => {
+            let fields: Vec<(PortIndex, bool, Vec<u32>)> = link_ports
+                .iter()
+                .map(|&(port, li, far)| {
+                    let up = rc.is_up_traversal(li, far);
+                    let landing = if up { Phase::Up } else { Phase::Down };
+                    (port, up, rc.legal_dists_from_state(far, landing))
+                })
+                .collect();
+            (
+                rc.legal_dists_from_state(me, Phase::Up),
+                rc.legal_dists_from_state(me, Phase::Down),
+                fields,
+            )
+        }
+        RouteKind::Unrestricted => {
+            // Unrestricted distances are symmetric (undirected graph), so
+            // `shortest_dists_to` doubles as a from-field.
+            let fields: Vec<(PortIndex, bool, Vec<u32>)> = link_ports
+                .iter()
+                .map(|&(port, _li, far)| (port, false, rc.shortest_dists_to(far)))
+                .collect();
+            let from_me = rc.shortest_dists_to(me);
+            (from_me.clone(), from_me, fields)
+        }
+    };
     for (d, dinfo) in global.switches.iter().enumerate() {
         let d_num = global.number_of(dinfo.uid)?;
         if d == me {
@@ -541,32 +593,32 @@ pub fn compute_forwarding_table(
             let mut set = PortSet::EMPTY;
             match kind {
                 RouteKind::UpDown => {
-                    let to_dst = rc.legal_dists_to(d);
-                    let here = to_dst[rc.state(me, phase)];
+                    let from_me = match phase {
+                        Phase::Up => &from_me_up,
+                        Phase::Down => &from_me_down,
+                    };
+                    let here = rc.dist_to_node(from_me, d);
                     if here == u32::MAX {
                         return set;
                     }
-                    for &(port, li, far) in &link_ports {
-                        let up = rc.is_up_traversal(li, far);
-                        let next = match (phase, up) {
-                            (Phase::Up, true) => Phase::Up,
-                            (_, false) => Phase::Down,
-                            (Phase::Down, true) => continue,
-                        };
-                        let dv = to_dst[rc.state(far, next)];
+                    for (port, up, field) in &far_fields {
+                        if phase == Phase::Down && *up {
+                            continue; // Down-phase packets cannot go up.
+                        }
+                        let dv = rc.dist_to_node(field, d);
                         if dv != u32::MAX && dv + 1 == here {
-                            set.insert(port);
+                            set.insert(*port);
                         }
                     }
                 }
                 RouteKind::Unrestricted => {
-                    let to_dst = rc.shortest_dists_to(d);
-                    if to_dst[me] == u32::MAX {
+                    let here = from_me_up[d];
+                    if here == u32::MAX {
                         return set;
                     }
-                    for &(port, _li, far) in &link_ports {
-                        if to_dst[far] != u32::MAX && to_dst[far] + 1 == to_dst[me] {
-                            set.insert(port);
+                    for (port, _up, field) in &far_fields {
+                        if field[d] != u32::MAX && field[d] + 1 == here {
+                            set.insert(*port);
                         }
                     }
                 }
@@ -720,8 +772,8 @@ pub fn global_from_view(
     Some(GlobalTopology {
         epoch,
         root,
-        switches,
-        numbers,
+        switches: std::sync::Arc::new(switches),
+        numbers: std::sync::Arc::new(numbers),
     })
 }
 
@@ -752,8 +804,8 @@ mod tests {
             gen::random_connected(20, 8, 7),
         ] {
             let (g, rc) = rc_for(&topo);
-            for a in &g.switches {
-                for b in &g.switches {
+            for a in g.switches.iter() {
+                for b in g.switches.iter() {
                     assert!(
                         rc.legal_dist(a.uid, b.uid).is_some(),
                         "{:?} cannot reach {:?}",
@@ -769,8 +821,8 @@ mod tests {
     fn legal_routes_at_least_as_long_as_shortest() {
         let topo = gen::torus(4, 4, 9);
         let (g, rc) = rc_for(&topo);
-        for a in &g.switches {
-            for b in &g.switches {
+        for a in g.switches.iter() {
+            for b in g.switches.iter() {
                 let legal = rc.legal_dist(a.uid, b.uid).unwrap();
                 let short = rc.unrestricted_dist(a.uid, b.uid).unwrap();
                 assert!(legal >= short);
@@ -902,9 +954,9 @@ mod tests {
         let g = global_from_view_simple(&topo.view_all()).unwrap();
         let rc = RouteComputer::new(&g);
         let mut found_discard = false;
-        for s in &g.switches {
+        for s in g.switches.iter() {
             let table = compute_forwarding_table(&g, s.uid, &[], RouteKind::UpDown).unwrap();
-            for d in &g.switches {
+            for d in g.switches.iter() {
                 if d.uid == s.uid {
                     continue;
                 }

@@ -36,7 +36,9 @@ mod telemetry;
 pub mod workload;
 
 pub use autonet_core::{ProbeOutcome, ProbeRecord};
-pub use network::{DeliveryRecord, NetEvent, NetEventKind, NetStats, Network, NetworkStats};
+pub use network::{
+    DeliveryRecord, NetEvent, NetEventKind, NetStats, Network, NetworkStats, PartitionedNetwork,
+};
 pub use params::{CpuModel, NetParams};
 pub use ring::{RingStats, TokenRing};
 pub use slotnet::SlotNet;

@@ -6,7 +6,6 @@ use autonet_sim::{Scheduler, SimDuration, SimTime};
 use autonet_topo::{HostId, LinkId, SwitchId};
 
 use super::events::{Event, NetEventKind};
-use super::switch_node::SwitchSim;
 use super::{NetWorld, Network};
 
 impl NetWorld {
@@ -21,7 +20,7 @@ impl NetWorld {
     }
 
     pub(super) fn on_switch_down(&mut self, now: SimTime, s: usize) {
-        self.switches[s].up = false;
+        self.switches.up[s] = false;
         self.log_event(now, NetEventKind::Fault(format!("switch {s} down")));
     }
 
@@ -34,19 +33,14 @@ impl NetWorld {
         sched: &mut Scheduler<'_, Event>,
     ) {
         let uid = self.topo.switch(SwitchId(s)).uid;
-        self.switches[s] = SwitchSim::new(
-            uid,
-            self.params.autopilot,
-            s as u32,
-            now,
-            self.params.tracing,
-        );
+        self.switches
+            .reset_slot(s, uid, self.params.autopilot, now, self.params.tracing);
         self.log_event(now, NetEventKind::Fault(format!("switch {s} up")));
         sched.after(SimDuration::ZERO, Event::SwitchBoot { s });
     }
 
     pub(super) fn on_host_power_off(&mut self, now: SimTime, h: usize) {
-        self.hosts[h].up = false;
+        self.hosts.up[h] = false;
         self.host_powered_off_at[h] = Some(now);
         self.log_event(now, NetEventKind::Fault(format!("host {h} powered off")));
     }
@@ -57,11 +51,11 @@ impl NetWorld {
         h: usize,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        self.hosts[h].up = true;
+        self.hosts.up[h] = true;
         self.host_powered_off_at[h] = None;
         let uid = self.topo.host(HostId(h)).uid;
         let dual = self.topo.host(HostId(h)).alternate.is_some();
-        self.hosts[h].ctl = HostController::new(uid, self.params.host, dual);
+        self.hosts.ctl[h] = HostController::new(uid, self.params.host, dual);
         self.log_event(now, NetEventKind::Fault(format!("host {h} powered on")));
         sched.after(SimDuration::ZERO, Event::HostBoot { h });
     }

@@ -1,5 +1,6 @@
 //! Host controllers: boot/tick cadence, packet delivery and data
-//! injection.
+//! injection. Host state lives struct-of-arrays in the
+//! [`HostPool`](super::pool::HostPool), indexed by dense id.
 
 use autonet_host::{EthFrame, HostAction, HostController, IP_ETHERTYPE};
 use autonet_sim::{Scheduler, SimTime};
@@ -8,12 +9,6 @@ use autonet_wire::{Packet, Uid};
 
 use super::events::{DeliveryRecord, Event, NetEventKind, Via};
 use super::{NetWorld, Network};
-
-/// One host in the packet-level world.
-pub(super) struct HostSim {
-    pub(super) ctl: HostController,
-    pub(super) up: bool,
-}
 
 impl NetWorld {
     /// Executes a batch of host controller actions.
@@ -66,10 +61,10 @@ impl NetWorld {
         h: usize,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.hosts[h].up {
+        if !self.hosts.up[h] {
             return;
         }
-        let actions = self.hosts[h].ctl.boot(now);
+        let actions = self.hosts.ctl[h].boot(now);
         self.apply_host_actions(now, h, actions, sched);
         sched.after(self.params.host_tick, Event::HostTick { h });
     }
@@ -80,10 +75,10 @@ impl NetWorld {
         h: usize,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.hosts[h].up {
+        if !self.hosts.up[h] {
             return;
         }
-        let actions = self.hosts[h].ctl.on_tick(now);
+        let actions = self.hosts.ctl[h].on_tick(now);
         self.apply_host_actions(now, h, actions, sched);
         sched.after(self.params.host_tick, Event::HostTick { h });
     }
@@ -97,11 +92,11 @@ impl NetWorld {
         via: Via,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.hosts[h].up || !self.via_intact(via) {
+        if !self.hosts.up[h] || !self.via_intact(via) {
             self.stats.lost_in_flight += 1;
             return;
         }
-        let actions = self.hosts[h].ctl.on_packet(now, cport, &packet);
+        let actions = self.hosts.ctl[h].on_packet(now, cport, &packet);
         self.apply_host_actions(now, h, actions, sched);
     }
 
@@ -114,15 +109,15 @@ impl NetWorld {
         tag: u64,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.hosts[h].up {
+        if !self.hosts.up[h] {
             return;
         }
         let mut payload = Vec::with_capacity(len.max(8));
         payload.extend_from_slice(&tag.to_be_bytes());
         payload.resize(len.max(8), 0);
-        let frame = EthFrame::new(dst, self.hosts[h].ctl.uid(), IP_ETHERTYPE, payload);
+        let frame = EthFrame::new(dst, self.hosts.ctl[h].uid(), IP_ETHERTYPE, payload);
         self.stats.data_sent += 1;
-        let actions = self.hosts[h].ctl.send(now, frame);
+        let actions = self.hosts.ctl[h].send(now, frame);
         self.apply_host_actions(now, h, actions, sched);
     }
 }
@@ -130,7 +125,7 @@ impl NetWorld {
 impl Network {
     /// A host's controller, for inspection.
     pub fn host(&self, h: HostId) -> &HostController {
-        &self.sim.world().hosts[h.0].ctl
+        &self.sim.world().hosts.ctl[h.0]
     }
 
     /// Schedules a host data frame.

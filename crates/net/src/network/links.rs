@@ -21,8 +21,8 @@ impl NetWorld {
                 view.fail_link(LinkId(l));
             }
         }
-        for (s, sw) in self.switches.iter().enumerate() {
-            if !sw.up {
+        for (s, up) in self.switches.up.iter().enumerate() {
+            if !up {
                 view.fail_switch(SwitchId(s));
             }
         }
@@ -204,22 +204,27 @@ impl NetWorld {
                 } else {
                     spec.a
                 };
-                if !self.link_up[lid.0] || !self.switches[other.switch.0].up {
+                if !self.link_up[lid.0] || !self.switches.up[other.switch.0] {
                     // Broken cable or dark far end: code violations.
                     status.bad_code = true;
                     status.start_seen = false;
                     Some(status)
                 } else {
                     // The far end sends idhy while it condemns the link
-                    // (its harness mirrors the verdict into the dead-port
-                    // flags after every Autopilot entry point).
-                    status.idhy_seen = self.switches[other.switch.0].dead[other.port as usize];
+                    // (the pool mirrors the verdict into the dead-port
+                    // flags after every Autopilot entry point). Under the
+                    // sharded executor the far end may live on another
+                    // shard, so the read goes through the barrier-latched
+                    // snapshot instead of the live pool.
+                    status.idhy_seen = match &self.latched {
+                        Some(l) => l.is_dead(other.switch.0, other.port),
+                        None => self.switches.nodes.is_dead(other.switch.0, other.port),
+                    };
                     Some(status)
                 }
             }
             PortUse::Host(hid, alt) => {
                 let which = usize::from(alt);
-                let host = &self.hosts[hid.0];
                 if let Some(off_at) = self.host_powered_off_at[hid.0] {
                     // A reflecting link: the port hears its own flow
                     // control (looks switch-like) until the noise of the
@@ -233,11 +238,14 @@ impl NetWorld {
                         status.start_seen = true;
                     }
                     Some(status)
-                } else if !self.host_link_up[hid.0][which] || !host.up {
+                } else if !self.host_link_up[hid.0][which] || !self.hosts.up[hid.0] {
                     status.bad_code = true;
                     status.start_seen = false;
                     Some(status)
-                } else if host.ctl.active_port() == which {
+                } else if match &self.latched {
+                    Some(l) => l.host_active(hid.0) == which,
+                    None => self.hosts.ctl[hid.0].active_port() == which,
+                } {
                     status.is_host = true;
                     Some(status)
                 } else {
@@ -260,7 +268,7 @@ impl NetWorld {
         packet: Packet,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        let entry = self.switches[s].table.lookup(in_port, packet.dst);
+        let entry = self.switches.table[s].lookup(in_port, packet.dst);
         if entry.is_discard() {
             self.stats.data_discarded += 1;
             return;

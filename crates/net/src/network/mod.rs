@@ -21,11 +21,15 @@ mod events;
 mod faults;
 mod host_node;
 mod links;
+mod partitioned;
+mod pool;
 mod probes;
 mod stats;
 mod switch_node;
 #[cfg(test)]
 mod tests;
+
+pub use partitioned::PartitionedNetwork;
 
 pub use autonet_harness::NetStats;
 #[doc(hidden)]
@@ -40,15 +44,14 @@ use autonet_sim::{Scheduler, SimDuration, SimRng, SimTime, Simulator, World};
 use autonet_topo::Topology;
 
 use crate::params::NetParams;
-use host_node::HostSim;
-use switch_node::SwitchSim;
+use pool::{HostPool, SwitchPool};
 
 /// The simulation world (driven through [`Network`]).
 pub struct NetWorld {
     topo: Topology,
     params: NetParams,
-    switches: Vec<SwitchSim>,
-    hosts: Vec<HostSim>,
+    switches: SwitchPool,
+    hosts: HostPool,
     link_up: Vec<bool>,
     /// Per-direction link busy times; index 0 = a→b.
     link_busy: Vec<[SimTime; 2]>,
@@ -73,6 +76,13 @@ pub struct NetWorld {
     probes: Option<probes::ProbeState>,
     /// Randomness for loss injection (seeded; deterministic).
     rng: SimRng,
+    /// Latched cross-node observations (dead-port verdicts, host active
+    /// ports). `None` in the classic single-queue loop, where
+    /// [`synthesize_status`](NetWorld::synthesize_status) reads the live
+    /// state; `Some` under the sharded executor, which refreshes the
+    /// latch at every lookahead-window barrier so observation timing is
+    /// identical at any partition count.
+    latched: Option<partitioned::Latched>,
 }
 
 /// A running Autonet built from a topology.
@@ -80,34 +90,32 @@ pub struct Network {
     sim: Simulator<NetWorld>,
 }
 
-impl Network {
-    /// Builds a network and schedules every switch and host to boot within
-    /// the configured jitter of t = 0.
-    pub fn new(topo: Topology, params: NetParams, seed: u64) -> Self {
+impl NetWorld {
+    /// Builds the world plus its boot schedule (every switch and host
+    /// booting within the configured jitter of t = 0). Shared by the
+    /// classic [`Network`] and every shard of a
+    /// [`PartitionedNetwork`](partitioned::PartitionedNetwork) — same
+    /// seed, bit-identical worlds.
+    fn build(topo: Topology, params: NetParams, seed: u64) -> (NetWorld, Vec<(SimTime, Event)>) {
         let mut rng = SimRng::new(seed);
-        let switches = topo
-            .switch_ids()
-            .map(|s| {
-                SwitchSim::new(
-                    topo.switch(s).uid,
-                    params.autopilot,
-                    s.0 as u32,
-                    SimTime::ZERO,
-                    params.tracing,
-                )
-            })
-            .collect();
-        let hosts = topo
-            .host_ids()
-            .map(|h| HostSim {
-                ctl: autonet_host::HostController::new(
-                    topo.host(h).uid,
-                    params.host,
-                    topo.host(h).alternate.is_some(),
-                ),
-                up: true,
-            })
-            .collect();
+        let mut switches = SwitchPool::new();
+        for s in topo.switch_ids() {
+            switches.push(
+                topo.switch(s).uid,
+                params.autopilot,
+                s.0 as u32,
+                SimTime::ZERO,
+                params.tracing,
+            );
+        }
+        let mut hosts = HostPool::new();
+        for h in topo.host_ids() {
+            hosts.push(autonet_host::HostController::new(
+                topo.host(h).uid,
+                params.host,
+                topo.host(h).alternate.is_some(),
+            ));
+        }
         let world = NetWorld {
             link_up: vec![true; topo.num_links()],
             link_busy: vec![[SimTime::ZERO; 2]; topo.num_links()],
@@ -125,18 +133,32 @@ impl Network {
                 .then(|| Box::new(crate::DatapathTelemetry::new())),
             probes: None,
             rng: rng.fork(1),
+            latched: None,
             topo,
             params,
         };
-        let mut sim = Simulator::new(world);
-        let jitter = sim.world().params.boot_jitter.as_nanos().max(1);
-        for s in 0..sim.world().switches.len() {
+        let jitter = world.params.boot_jitter.as_nanos().max(1);
+        let mut boots = Vec::with_capacity(world.switches.len() + world.hosts.len());
+        for s in 0..world.switches.len() {
             let at = SimTime::from_nanos(rng.below(jitter));
-            sim.schedule_at(at, Event::SwitchBoot { s });
+            boots.push((at, Event::SwitchBoot { s }));
         }
-        for h in 0..sim.world().hosts.len() {
+        for h in 0..world.hosts.len() {
             let at = SimTime::from_nanos(rng.below(jitter));
-            sim.schedule_at(at, Event::HostBoot { h });
+            boots.push((at, Event::HostBoot { h }));
+        }
+        (world, boots)
+    }
+}
+
+impl Network {
+    /// Builds a network and schedules every switch and host to boot within
+    /// the configured jitter of t = 0.
+    pub fn new(topo: Topology, params: NetParams, seed: u64) -> Self {
+        let (world, boots) = NetWorld::build(topo, params, seed);
+        let mut sim = Simulator::new(world);
+        for (at, event) in boots {
+            sim.schedule_at(at, event);
         }
         Network { sim }
     }
@@ -144,6 +166,12 @@ impl Network {
     /// Current simulation time.
     pub fn now(&self) -> SimTime {
         self.sim.now()
+    }
+
+    /// Total kernel events processed so far (the scale benches' throughput
+    /// numerator).
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
     }
 
     /// The static topology.
@@ -176,7 +204,7 @@ impl Network {
 
     /// Whether switch `s` is powered right now.
     pub fn switch_is_up(&self, s: autonet_topo::SwitchId) -> bool {
-        self.sim.world().switches[s.0].up
+        self.sim.world().switches.up[s.0]
     }
 
     /// Drains the typed event spine accumulated since the last drain —
@@ -195,7 +223,18 @@ impl Network {
     /// open/close state change (the true completion instant), or `None` if
     /// the deadline passed first.
     pub fn run_until_stable(&mut self, deadline: SimTime) -> Option<SimTime> {
-        let step = SimDuration::from_millis(20);
+        self.run_until_stable_every(SimDuration::from_millis(20), deadline)
+    }
+
+    /// [`run_until_stable`](Network::run_until_stable) with an explicit
+    /// consistency-polling period. The check walks every switch's agreed
+    /// topology (quadratic in network size), so large-network callers
+    /// poll at a coarser grain than the 20 ms default.
+    pub fn run_until_stable_every(
+        &mut self,
+        step: SimDuration,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
         while self.sim.now() < deadline {
             self.sim.run_for(step);
             if self.control_plane_consistent() {

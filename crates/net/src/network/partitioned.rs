@@ -1,0 +1,523 @@
+//! The sharded (multi-core) execution mode of the packet-level network.
+//!
+//! [`PartitionedNetwork`] runs the same [`NetWorld`] model as [`Network`],
+//! but partitions the nodes (switches, then hosts, in dense-id order)
+//! across the shards of an [`autonet_sim::ShardedSimulator`]. The
+//! conservative lookahead bound is physical: no packet crosses between
+//! two nodes faster than the smallest wire-plus-propagation delay in the
+//! installation, so each shard can run one lookahead window without
+//! hearing from the others.
+//!
+//! # How the one-world model becomes shardable
+//!
+//! Every shard holds a complete `NetWorld` built through the identical
+//! construction path (same topology, same seed), so replicated state
+//! starts bit-identical everywhere. From there:
+//!
+//! - **Node state** (harnesses, tables, CPU backlogs, host controllers)
+//!   is authoritative only on the owning shard — only that shard ever
+//!   processes the node's events.
+//! - **Plant state** (link/host-link up flags, power flags) is replicated:
+//!   fault events are broadcast to every shard with the *same* canonical
+//!   stamp, so each shard applies the flip at the same point in its local
+//!   event order. Only the primary shard (the owner of the fault's
+//!   anchor node) keeps the log entries and follow-up emissions; the
+//!   other shards run the handler for its flag flips and then discard
+//!   its observable effects.
+//! - **Channel state** (per-direction busy times) is owned by the sending
+//!   node's shard; nobody else reads it.
+//! - **Cross-node observations** (a neighbor's dead-port verdict, a
+//!   host's active controller port — the inputs to
+//!   [`synthesize_status`](NetWorld::synthesize_status)) go through
+//!   [`Latched`], a snapshot exchanged at every window barrier. The
+//!   latch is refreshed on the same schedule at *every* partition count,
+//!   including one, which is what makes results bit-identical at 1, 2
+//!   or 8 shards.
+//!
+//! Unsupported here (asserted at construction / unreachable): control
+//! packet loss (`control_loss_rate > 0` draws from one shared RNG) and
+//! service-interruption probes (a single network-wide tick).
+
+use autonet_core::Autopilot;
+use autonet_harness::NetStats;
+use autonet_sim::{Scheduler, ShardWorld, ShardedSimulator, SimDuration, SimTime, World};
+use autonet_topo::{HostId, LinkId, SwitchId, Topology};
+use autonet_trace::TraceRecord;
+use autonet_wire::{PortIndex, Uid, MAX_PORTS};
+
+use crate::params::NetParams;
+
+use super::events::{DeliveryRecord, Event, NetEvent};
+use super::links::HOST_LINK_LATENCY_NS;
+use super::{stats, NetWorld};
+
+/// Barrier-latched cross-node observations: what `synthesize_status` is
+/// allowed to see of nodes that may live on other shards.
+pub(super) struct Latched {
+    /// Per-switch dead-port verdict rows (the far end's `idhy` signal).
+    dead: Vec<[bool; MAX_PORTS]>,
+    /// Per-host active controller port.
+    host_active: Vec<u8>,
+}
+
+impl Latched {
+    /// The latch as of t = 0, derived from freshly built pools (all ports
+    /// condemned, every host on its primary port).
+    fn initial(net: &NetWorld) -> Latched {
+        Latched {
+            dead: (0..net.switches.len())
+                .map(|s| *net.switches.nodes.dead_row(s))
+                .collect(),
+            host_active: net
+                .hosts
+                .ctl
+                .iter()
+                .map(|c| c.active_port() as u8)
+                .collect(),
+        }
+    }
+
+    pub(super) fn is_dead(&self, s: usize, port: PortIndex) -> bool {
+        self.dead[s][port as usize]
+    }
+
+    pub(super) fn host_active(&self, h: usize) -> usize {
+        self.host_active[h] as usize
+    }
+}
+
+/// One shard's slice of the latch, exchanged at every window barrier.
+#[derive(Default)]
+pub(super) struct NetMirror {
+    dead: Vec<(u32, [bool; MAX_PORTS])>,
+    host_active: Vec<(u32, u8)>,
+}
+
+/// One shard: a full world replica plus its place in the partition.
+pub(super) struct PartWorld {
+    net: NetWorld,
+    me: u32,
+    owner: Vec<u32>,
+    n_switches: usize,
+}
+
+impl PartWorld {
+    fn owns_switch(&self, s: usize) -> bool {
+        self.owner[s] == self.me
+    }
+
+    fn owns_host(&self, h: usize) -> bool {
+        self.owner[self.n_switches + h] == self.me
+    }
+}
+
+impl ShardWorld for PartWorld {
+    type Event = Event;
+    type Mirror = NetMirror;
+
+    fn node_of(&self, event: &Event) -> u32 {
+        let host = |h: usize| (self.n_switches + h) as u32;
+        match *event {
+            Event::SwitchBoot { s }
+            | Event::SwitchTick { s }
+            | Event::SwitchSample { s }
+            | Event::SwitchRx { s, .. }
+            | Event::SwitchCpuDone { s, .. }
+            | Event::SrpRequest { s, .. }
+            | Event::SwitchDown { s }
+            | Event::SwitchUp { s } => s as u32,
+            // Faults anchor to a deterministic node for stamping; they are
+            // *broadcast* to every shard regardless.
+            Event::LinkDown { l } | Event::LinkUp { l } => {
+                self.net.topo.link(LinkId(l)).a.switch.0 as u32
+            }
+            Event::HostBoot { h }
+            | Event::HostTick { h }
+            | Event::HostRx { h, .. }
+            | Event::HostSend { h, .. }
+            | Event::HostPowerOff { h }
+            | Event::HostPowerOn { h }
+            | Event::HostLinkDown { h, .. }
+            | Event::HostLinkUp { h, .. } => host(h),
+            Event::ProbeTick => unreachable!("probes are unsupported in partitioned mode"),
+        }
+    }
+
+    fn handle_sharded(&mut self, now: SimTime, event: Event, out: &mut Vec<(SimTime, Event)>) {
+        let broadcast = matches!(
+            event,
+            Event::LinkDown { .. }
+                | Event::LinkUp { .. }
+                | Event::SwitchDown { .. }
+                | Event::SwitchUp { .. }
+                | Event::HostPowerOff { .. }
+                | Event::HostPowerOn { .. }
+                | Event::HostLinkDown { .. }
+                | Event::HostLinkUp { .. }
+        );
+        let primary = !broadcast || self.owner[self.node_of(&event) as usize] == self.me;
+        let events_len = self.net.events.len();
+        let trace_len = self.net.trace.len();
+        let stats_before = self.net.stats;
+        let mut stop = false;
+        let mut sched = Scheduler::collecting(now, out, &mut stop);
+        self.net.handle(now, event, &mut sched);
+        if !primary {
+            // A replicated fault on a shard that doesn't own its anchor:
+            // keep the flag flips, discard the observable side effects
+            // (the primary shard produces the single authoritative copy).
+            out.clear();
+            self.net.events.truncate(events_len);
+            self.net.trace.truncate(trace_len);
+            self.net.stats = stats_before;
+        }
+    }
+
+    fn export_mirror(&self, into: &mut NetMirror) {
+        into.dead.clear();
+        into.host_active.clear();
+        for s in 0..self.net.switches.len() {
+            if self.owns_switch(s) {
+                into.dead
+                    .push((s as u32, *self.net.switches.nodes.dead_row(s)));
+            }
+        }
+        for h in 0..self.net.hosts.len() {
+            if self.owns_host(h) {
+                into.host_active
+                    .push((h as u32, self.net.hosts.ctl[h].active_port() as u8));
+            }
+        }
+    }
+
+    fn apply_mirror(&mut self, from: &NetMirror) {
+        let latched = self
+            .net
+            .latched
+            .as_mut()
+            .expect("partitioned world is latched");
+        for &(s, row) in &from.dead {
+            latched.dead[s as usize] = row;
+        }
+        for &(h, port) in &from.host_active {
+            latched.host_active[h as usize] = port;
+        }
+    }
+}
+
+/// The physical lookahead bound: the smallest time any packet needs to
+/// reach another node — minimum wire time (smallest packet is a bare
+/// header plus CRC, 36 bytes) plus the smallest propagation delay of any
+/// cross-node channel.
+fn lookahead_window(topo: &Topology, params: &NetParams) -> SimDuration {
+    let wire_min = 36u64 * 8 * 1_000_000_000 / params.link_bps;
+    let mut latency = u64::MAX;
+    for l in 0..topo.num_links() {
+        latency = latency.min(topo.link(LinkId(l)).timing.latency_ns());
+    }
+    if topo.num_hosts() > 0 {
+        latency = latency.min(HOST_LINK_LATENCY_NS);
+    }
+    if latency == u64::MAX {
+        // A single isolated switch: no cross-node channel at all, any
+        // window works.
+        latency = 1_000;
+    }
+    SimDuration::from_nanos((wire_min + latency).max(1))
+}
+
+/// A running Autonet sharded across CPU cores, bit-for-bit deterministic
+/// for any partition count.
+pub struct PartitionedNetwork {
+    sim: ShardedSimulator<PartWorld>,
+    n_switches: usize,
+}
+
+impl PartitionedNetwork {
+    /// Builds a network partitioned into `nparts` shards (clamped to the
+    /// node count). Semantics match [`Network::new`] except for event
+    /// interleaving at identical timestamps and the barrier-latched
+    /// cross-node observations; results are identical for any `nparts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nparts` is zero, or if `params` enable control-packet
+    /// loss (whose shared RNG cannot be sharded deterministically).
+    pub fn new(topo: Topology, params: NetParams, seed: u64, nparts: usize) -> Self {
+        assert!(nparts >= 1, "at least one partition");
+        assert!(
+            params.control_loss_rate == 0.0,
+            "control loss is unsupported in partitioned mode (shared RNG)"
+        );
+        let n_switches = topo.num_switches();
+        let n_nodes = (n_switches + topo.num_hosts()).max(1);
+        let nparts = nparts.min(n_nodes);
+        // Block partition: contiguous dense-id ranges, a pure function of
+        // (n_nodes, nparts).
+        let owner: Vec<u32> = (0..n_nodes)
+            .map(|i| (i * nparts / n_nodes) as u32)
+            .collect();
+        let window = lookahead_window(&topo, &params);
+        let mut boots = Vec::new();
+        let worlds: Vec<PartWorld> = (0..nparts as u32)
+            .map(|me| {
+                let (mut net, b) = NetWorld::build(topo.clone(), params, seed);
+                net.latched = Some(Latched::initial(&net));
+                if me == 0 {
+                    boots = b;
+                }
+                PartWorld {
+                    net,
+                    me,
+                    owner: owner.clone(),
+                    n_switches,
+                }
+            })
+            .collect();
+        let mut sim = ShardedSimulator::new(worlds, owner, window);
+        for (at, event) in boots {
+            sim.schedule_external(at, event);
+        }
+        PartitionedNetwork { sim, n_switches }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Number of shards actually running.
+    pub fn num_partitions(&self) -> usize {
+        self.sim.num_shards()
+    }
+
+    /// The static topology.
+    pub fn topology(&self) -> &Topology {
+        &self.sim.world(0).net.topo
+    }
+
+    /// Total events processed across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.sim.run_for(span);
+    }
+
+    /// Switch `s`'s control program, read from the shard that owns it.
+    pub fn autopilot(&self, s: SwitchId) -> &Autopilot {
+        self.shard_of(s.0).net.switches.autopilot(s.0)
+    }
+
+    /// Switch `s`'s installed forwarding table, from the owning shard.
+    pub fn forwarding_table(&self, s: SwitchId) -> &autonet_switch::ForwardingTable {
+        &self.shard_of(s.0).net.switches.table[s.0]
+    }
+
+    fn shard_of(&self, node: usize) -> &PartWorld {
+        self.sim.world(self.sim.owner_of(node))
+    }
+
+    /// Whether the control plane has converged to the physical truth
+    /// (same predicate as [`Network::control_plane_consistent`]).
+    pub fn control_plane_consistent(&self) -> bool {
+        let w0 = &self.sim.world(0).net;
+        let view = w0.physical_view();
+        stats::consistent_with(&w0.topo, &view, &w0.switches.up, &|s| {
+            self.autopilot(SwitchId(s))
+        })
+    }
+
+    /// Runs until the control plane is stable, polling every `step`.
+    /// Returns the time of the last open/close state change, or `None`
+    /// if the deadline passed first.
+    pub fn run_until_stable_every(
+        &mut self,
+        step: SimDuration,
+        deadline: SimTime,
+    ) -> Option<SimTime> {
+        while self.sim.now() < deadline {
+            self.sim.run_for(step);
+            if self.control_plane_consistent() {
+                return Some(self.stats().last_state_change);
+            }
+        }
+        None
+    }
+
+    /// Aggregate counters summed across shards.
+    pub fn stats(&self) -> NetStats {
+        let mut total = NetStats::default();
+        for k in 0..self.sim.num_shards() {
+            let s = self.sim.world(k).net.stats;
+            total.data_sent += s.data_sent;
+            total.data_delivered += s.data_delivered;
+            total.data_discarded += s.data_discarded;
+            total.control_sent += s.control_sent;
+            total.lost_in_flight += s.lost_in_flight;
+            total.cpu_queue_drops += s.cpu_queue_drops;
+            total.opens += s.opens;
+            total.closes += s.closes;
+            total.last_state_change = total.last_state_change.max(s.last_state_change);
+        }
+        total
+    }
+
+    /// Total reconfigurations initiated across all switches.
+    pub fn total_reconfigs_triggered(&self) -> u64 {
+        (0..self.n_switches)
+            .map(|s| self.autopilot(SwitchId(s)).reconfigs_triggered())
+            .sum()
+    }
+
+    /// The typed event spine of the whole run, canonically merged (by
+    /// time, then node): each shard records only the nodes it owns, so
+    /// concatenation plus a stable sort reconstructs the one history.
+    /// This is the artifact the determinism tests digest.
+    pub fn merged_trace_records(&self) -> Vec<TraceRecord> {
+        let mut all = Vec::new();
+        for k in 0..self.sim.num_shards() {
+            all.extend_from_slice(self.sim.world(k).net.trace.records());
+        }
+        autonet_trace::merge_sorted(&all)
+    }
+
+    /// Observable network events from every shard, time-ordered (ties in
+    /// shard order).
+    pub fn events(&self) -> Vec<NetEvent> {
+        let mut all = Vec::new();
+        for k in 0..self.sim.num_shards() {
+            all.extend_from_slice(&self.sim.world(k).net.events);
+        }
+        all.sort_by_key(|e| e.time);
+        all
+    }
+
+    /// Delivered data frames from every shard, time-ordered.
+    pub fn deliveries(&self) -> Vec<DeliveryRecord> {
+        let mut all = Vec::new();
+        for k in 0..self.sim.num_shards() {
+            all.extend_from_slice(&self.sim.world(k).net.deliveries);
+        }
+        all.sort_by_key(|d| d.time);
+        all
+    }
+
+    /// Schedules a fault event on every shard with one shared stamp (the
+    /// plant flags are replicated state).
+    fn broadcast(&mut self, at: SimTime, make: impl FnMut() -> Event) {
+        self.sim.schedule_external_all(at, make);
+    }
+
+    /// Schedules a link failure.
+    pub fn schedule_link_down(&mut self, at: SimTime, l: LinkId) {
+        self.broadcast(at, || Event::LinkDown { l: l.0 });
+    }
+
+    /// Schedules a link repair.
+    pub fn schedule_link_up(&mut self, at: SimTime, l: LinkId) {
+        self.broadcast(at, || Event::LinkUp { l: l.0 });
+    }
+
+    /// Schedules a switch crash.
+    pub fn schedule_switch_down(&mut self, at: SimTime, s: SwitchId) {
+        self.broadcast(at, || Event::SwitchDown { s: s.0 });
+    }
+
+    /// Schedules a switch power-on (reboots a fresh Autopilot).
+    pub fn schedule_switch_up(&mut self, at: SimTime, s: SwitchId) {
+        self.broadcast(at, || Event::SwitchUp { s: s.0 });
+    }
+
+    /// Schedules a host power-off with cables left attached.
+    pub fn schedule_host_power_off(&mut self, at: SimTime, h: HostId) {
+        self.broadcast(at, || Event::HostPowerOff { h: h.0 });
+    }
+
+    /// Schedules the host powering back on.
+    pub fn schedule_host_power_on(&mut self, at: SimTime, h: HostId) {
+        self.broadcast(at, || Event::HostPowerOn { h: h.0 });
+    }
+
+    /// Schedules a host-link failure (`which`: 0 primary, 1 alternate).
+    pub fn schedule_host_link_down(&mut self, at: SimTime, h: HostId, which: usize) {
+        self.broadcast(at, || Event::HostLinkDown { h: h.0, which });
+    }
+
+    /// Schedules a host-link repair.
+    pub fn schedule_host_link_up(&mut self, at: SimTime, h: HostId, which: usize) {
+        self.broadcast(at, || Event::HostLinkUp { h: h.0, which });
+    }
+
+    /// Schedules a host data frame (delivered to the host's shard).
+    pub fn schedule_host_send(&mut self, at: SimTime, h: HostId, dst: Uid, len: usize, tag: u64) {
+        self.sim.schedule_external(
+            at,
+            Event::HostSend {
+                h: h.0,
+                dst,
+                len,
+                tag,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autonet_topo::gen;
+
+    fn tuned_traced() -> NetParams {
+        NetParams::tuned()
+    }
+
+    /// A short fault campaign on a small torus; returns the canonical
+    /// trace digest plus final control-plane state.
+    fn campaign(nparts: usize) -> (String, Vec<(bool, Option<u64>)>) {
+        let topo = gen::torus(3, 3, 7);
+        let mut net = PartitionedNetwork::new(topo, tuned_traced(), 11, nparts);
+        net.run_for(SimDuration::from_millis(400));
+        net.schedule_link_down(net.now() + SimDuration::from_millis(1), LinkId(2));
+        net.run_for(SimDuration::from_millis(300));
+        net.schedule_link_up(net.now() + SimDuration::from_millis(1), LinkId(2));
+        net.run_for(SimDuration::from_millis(300));
+        let digest = autonet_trace::to_jsonl(&net.merged_trace_records());
+        let state = (0..net.topology().num_switches())
+            .map(|s| {
+                let ap = net.autopilot(SwitchId(s));
+                (ap.is_open(), ap.global().map(|g| g.epoch.0))
+            })
+            .collect();
+        (digest, state)
+    }
+
+    #[test]
+    fn partition_count_does_not_change_history() {
+        let base = campaign(1);
+        assert!(!base.0.is_empty());
+        for nparts in [2, 4] {
+            assert_eq!(campaign(nparts), base, "divergence at {nparts} partitions");
+        }
+    }
+
+    #[test]
+    fn partitioned_torus_converges() {
+        let topo = gen::torus(3, 3, 7);
+        let mut net = PartitionedNetwork::new(topo, tuned_traced(), 11, 4);
+        let t = net.run_until_stable_every(SimDuration::from_millis(20), SimTime::from_secs(5));
+        assert!(t.is_some(), "partitioned bring-up did not converge");
+        assert!(net.control_plane_consistent());
+        assert!(net.events_processed() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "control loss is unsupported")]
+    fn loss_params_rejected() {
+        let mut params = NetParams::tuned();
+        params.control_loss_rate = 0.01;
+        let _ = PartitionedNetwork::new(gen::torus(2, 2, 1), params, 1, 2);
+    }
+}

@@ -59,14 +59,14 @@ impl NetWorld {
                 delivered: None,
                 dead_letter: false,
             };
-            if self.hosts[src].up {
+            if self.hosts.up[src] {
                 let dst_uid = self.topo.host(HostId(dst)).uid;
                 let mut payload = Vec::with_capacity(PROBE_LEN);
                 payload.extend_from_slice(&probe_tag(i as u32, seq).to_be_bytes());
                 payload.resize(PROBE_LEN, 0);
                 let frame =
-                    EthFrame::new(dst_uid, self.hosts[src].ctl.uid(), IP_ETHERTYPE, payload);
-                let actions = self.hosts[src].ctl.send(now, frame);
+                    EthFrame::new(dst_uid, self.hosts.ctl[src].uid(), IP_ETHERTYPE, payload);
+                let actions = self.hosts.ctl[src].send(now, frame);
                 // No transmit means the controller had nowhere to send it
                 // (no learned address and queueing failed, or both ports
                 // down): the probe is dead on departure unless a queued

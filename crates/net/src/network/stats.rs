@@ -3,14 +3,100 @@
 
 use std::collections::BTreeMap;
 
-use autonet_core::{global_from_view, Epoch, Event, GlobalTopology};
+use autonet_core::{global_from_view, Autopilot, Epoch, Event, GlobalTopology};
 use autonet_harness::NetStats;
 use autonet_sim::{TraceEntry, TraceLog};
-use autonet_topo::SwitchId;
+use autonet_topo::{NetView, SwitchId, Topology};
 use autonet_wire::{PortIndex, SwitchNumber, Uid};
 
-use super::switch_node::SwitchSim;
 use super::Network;
+
+/// The convergence predicate, parameterized over where a switch's control
+/// program lives: the classic world reads its own pool, the partitioned
+/// facade routes each lookup to the shard that owns the switch.
+pub(super) fn consistent_with<'a>(
+    topo: &Topology,
+    view: &NetView<'_>,
+    switch_up: &[bool],
+    autopilot: &dyn Fn(usize) -> &'a Autopilot,
+) -> bool {
+    for component in autonet_topo::connected_components(view) {
+        let min_uid = component
+            .iter()
+            .map(|&s| topo.switch(s).uid)
+            .min()
+            .expect("components are non-empty");
+        let mut first: Option<&GlobalTopology> = None;
+        for &sid in &component {
+            let ap = autopilot(sid.0);
+            if !ap.is_open() {
+                return false;
+            }
+            let Some(g) = ap.global() else {
+                return false;
+            };
+            if g.root != min_uid || g.switches.len() != component.len() {
+                return false;
+            }
+            match first {
+                None => first = Some(g),
+                Some(f) => {
+                    if g.epoch != f.epoch || g.numbers != f.numbers {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    // The agreed topology must list exactly the usable physical links:
+    // a failed link still listed means the fault is not yet absorbed; a
+    // repaired link missing means readmission is still pending. Combined
+    // with the containment check below, matching end-counts give
+    // exact equality.
+    let mut usable_ends = 0usize;
+    for lid in view.usable_links() {
+        let spec = topo.link(lid);
+        if view.switch_up(spec.a.switch) && view.switch_up(spec.b.switch) {
+            usable_ends += 2;
+        }
+    }
+    let mut listed_ends = 0usize;
+    for (s, &up) in switch_up.iter().enumerate() {
+        if !up {
+            continue;
+        }
+        let ap = autopilot(s);
+        if let Some(g) = ap.global() {
+            if let Some(info) = g.switch(ap.uid()) {
+                listed_ends += info.links.len();
+            }
+        }
+    }
+    if usable_ends != listed_ends {
+        return false;
+    }
+    for lid in view.usable_links() {
+        let spec = topo.link(lid);
+        let a_uid = topo.switch(spec.a.switch).uid;
+        let b_uid = topo.switch(spec.b.switch).uid;
+        let listed = |s: usize, my_port: PortIndex, far: Uid, far_port: PortIndex| {
+            let ap = autopilot(s);
+            ap.global().is_some_and(|g| {
+                g.switch(ap.uid()).is_some_and(|info| {
+                    info.links.iter().any(|l| {
+                        l.local_port == my_port && l.neighbor == far && l.neighbor_port == far_port
+                    })
+                })
+            })
+        };
+        if !listed(spec.a.switch.0, spec.a.port, b_uid, spec.b.port)
+            || !listed(spec.b.switch.0, spec.b.port, a_uid, spec.a.port)
+        {
+            return false;
+        }
+    }
+    true
+}
 
 impl Network {
     /// Aggregate counters (shared across backends; see [`NetStats`]).
@@ -26,87 +112,7 @@ impl Network {
     pub fn control_plane_consistent(&self) -> bool {
         let w = self.sim.world();
         let view = w.physical_view();
-        for component in autonet_topo::connected_components(&view) {
-            let min_uid = component
-                .iter()
-                .map(|&s| w.topo.switch(s).uid)
-                .min()
-                .expect("components are non-empty");
-            let mut first: Option<&GlobalTopology> = None;
-            for &sid in &component {
-                let sw = &w.switches[sid.0];
-                if !sw.autopilot().is_open() {
-                    return false;
-                }
-                let Some(g) = sw.autopilot().global() else {
-                    return false;
-                };
-                if g.root != min_uid || g.switches.len() != component.len() {
-                    return false;
-                }
-                match first {
-                    None => first = Some(g),
-                    Some(f) => {
-                        if g.epoch != f.epoch || g.numbers != f.numbers {
-                            return false;
-                        }
-                    }
-                }
-            }
-        }
-        // The agreed topology must list exactly the usable physical links:
-        // a failed link still listed means the fault is not yet absorbed; a
-        // repaired link missing means readmission is still pending. Combined
-        // with the containment check below, matching end-counts give
-        // exact equality.
-        let mut usable_ends = 0usize;
-        for lid in view.usable_links() {
-            let spec = w.topo.link(lid);
-            if view.switch_up(spec.a.switch) && view.switch_up(spec.b.switch) {
-                usable_ends += 2;
-            }
-        }
-        let mut listed_ends = 0usize;
-        for sw in w.switches.iter().filter(|s| s.up) {
-            if let Some(g) = sw.autopilot().global() {
-                if let Some(info) = g.switch(sw.autopilot().uid()) {
-                    listed_ends += info.links.len();
-                }
-            }
-        }
-        if usable_ends != listed_ends {
-            return false;
-        }
-        for lid in view.usable_links() {
-            let spec = w.topo.link(lid);
-            let a_uid = w.topo.switch(spec.a.switch).uid;
-            let b_uid = w.topo.switch(spec.b.switch).uid;
-            let listed = |sw: &SwitchSim, my_port: PortIndex, far: Uid, far_port: PortIndex| {
-                sw.autopilot().global().is_some_and(|g| {
-                    g.switch(sw.autopilot().uid()).is_some_and(|info| {
-                        info.links.iter().any(|l| {
-                            l.local_port == my_port
-                                && l.neighbor == far
-                                && l.neighbor_port == far_port
-                        })
-                    })
-                })
-            };
-            if !listed(
-                &w.switches[spec.a.switch.0],
-                spec.a.port,
-                b_uid,
-                spec.b.port,
-            ) || !listed(
-                &w.switches[spec.b.switch.0],
-                spec.b.port,
-                a_uid,
-                spec.a.port,
-            ) {
-                return false;
-            }
-        }
-        true
+        consistent_with(&w.topo, &view, &w.switches.up, &|s| w.switches.autopilot(s))
     }
 
     /// Verifies the converged control plane against the graph-theoretic
@@ -123,15 +129,15 @@ impl Network {
             return Ok(());
         };
         let ref_levels = reference.levels().expect("reference is well-formed");
-        for (si, sw) in w.switches.iter().enumerate() {
-            if !sw.up {
+        for si in 0..w.switches.len() {
+            if !w.switches.up[si] {
                 continue;
             }
             let uid = w.topo.switch(SwitchId(si)).uid;
             if !ref_levels.contains_key(&uid) {
                 continue; // A partition not containing the reference root.
             }
-            let Some(g) = sw.autopilot().global() else {
+            let Some(g) = w.switches.autopilot(si).global() else {
                 return Err(format!("switch {si} has no topology"));
             };
             if g.root != reference.root {
@@ -161,8 +167,9 @@ impl Network {
             .sim
             .world()
             .switches
-            .iter()
-            .map(|s| &s.autopilot().log)
+            .nodes
+            .autopilots()
+            .map(|ap| &ap.log)
             .collect();
         TraceLog::merge(logs)
     }
@@ -172,8 +179,9 @@ impl Network {
         self.sim
             .world()
             .switches
-            .iter()
-            .map(|s| s.autopilot().reconfigs_triggered())
+            .nodes
+            .autopilots()
+            .map(|ap| ap.reconfigs_triggered())
             .sum()
     }
 }

@@ -3,68 +3,19 @@
 //!
 //! The harness owns the control program and the action translation; this
 //! module supplies the substrate view ([`PacketEnv`]) and the event
-//! handlers that decide *when* the harness entry points run.
+//! handlers that decide *when* the harness entry points run. Switch
+//! state itself lives struct-of-arrays in the
+//! [`SwitchPool`](super::pool::SwitchPool), indexed by dense id.
 
-use autonet_core::{Autopilot, AutopilotParams, ControlMsg, Epoch, PortState, SrpPayload};
+use autonet_core::{Autopilot, ControlMsg, Epoch, PortState, SrpPayload};
 use autonet_harness::{control_packet, Environment, NodeHarness};
 use autonet_sim::{Scheduler, SimTime};
 use autonet_switch::{ForwardingTable, LinkUnitStatus};
 use autonet_topo::SwitchId;
-use autonet_wire::{PacketType, PortIndex, Uid, MAX_PORTS};
+use autonet_wire::{PacketType, PortIndex, MAX_PORTS};
 
 use super::events::{Event, NetEventKind};
 use super::{NetWorld, Network};
-
-/// One switch in the packet-level world.
-pub(super) struct SwitchSim {
-    /// The Autopilot inside its harness. Taken out while a harness entry
-    /// point runs (so the environment view can borrow the rest of the
-    /// world) and put back immediately after; `None` is never observable
-    /// from the event handlers.
-    pub(super) harness: Option<NodeHarness>,
-    pub(super) table: ForwardingTable,
-    pub(super) cpu_free: SimTime,
-    pub(super) up: bool,
-    /// Mirror of the Autopilot's dead-port verdicts, refreshed after
-    /// every harness entry point: the packet-level stand-in for the link
-    /// unit's `idhy` hook, readable by *other* switches' status synthesis
-    /// without borrowing this switch's control program.
-    pub(super) dead: [bool; MAX_PORTS],
-}
-
-impl SwitchSim {
-    pub(super) fn new(
-        uid: Uid,
-        params: AutopilotParams,
-        number_hint: u32,
-        cpu_free: SimTime,
-        tracing: bool,
-    ) -> Self {
-        let mut ap = Autopilot::new(uid, params, number_hint);
-        ap.set_tracing(tracing);
-        SwitchSim {
-            harness: Some(NodeHarness::new(ap)),
-            table: ForwardingTable::new(),
-            cpu_free,
-            up: true,
-            // Ports boot Dead, so their link units send idhy from reset.
-            dead: [true; MAX_PORTS],
-        }
-    }
-
-    /// The control program, for inspection.
-    pub(super) fn autopilot(&self) -> &Autopilot {
-        self.harness.as_ref().expect("harness in place").autopilot()
-    }
-
-    /// The control program, mutably (SRP reply draining).
-    pub(super) fn autopilot_mut(&mut self) -> &mut Autopilot {
-        self.harness
-            .as_mut()
-            .expect("harness in place")
-            .autopilot_mut()
-    }
-}
 
 /// The per-event [`Environment`] for switch `s`: the whole world (with
 /// `s`'s own harness temporarily removed) plus the event scheduler.
@@ -83,7 +34,7 @@ impl Environment for PacketEnv<'_, '_> {
     }
 
     fn load_table(&mut self, _now: SimTime, table: ForwardingTable) {
-        self.w.switches[self.s].table = table;
+        self.w.switches.table[self.s] = table;
     }
 
     fn read_status(&mut self, now: SimTime, port: PortIndex) -> Option<LinkUnitStatus> {
@@ -91,7 +42,7 @@ impl Environment for PacketEnv<'_, '_> {
     }
 
     fn set_port_dead(&mut self, port: PortIndex, dead: bool) {
-        self.w.switches[self.s].dead[port as usize] = dead;
+        self.w.switches.nodes.set_dead(self.s, port, dead);
     }
 
     fn network_opened(&mut self, now: SimTime, epoch: Epoch) {
@@ -140,28 +91,24 @@ impl Environment for PacketEnv<'_, '_> {
 }
 
 impl NetWorld {
-    /// Runs one harness entry point for switch `s`, then refreshes the
-    /// dead-port mirror from the Autopilot's verdicts (port states only
-    /// change inside entry points, so other switches reading the mirror
-    /// see exactly the live state).
+    /// Runs one harness entry point for switch `s`; the pool's put
+    /// refreshes the dead-port mirror from the Autopilot's verdicts
+    /// (port states only change inside entry points, so other switches
+    /// reading the mirror see exactly the live state).
     fn with_harness<R>(
         &mut self,
         s: usize,
         sched: &mut Scheduler<'_, Event>,
         f: impl FnOnce(&mut NodeHarness, &mut PacketEnv<'_, '_>) -> R,
     ) -> R {
-        let mut h = self.switches[s].harness.take().expect("harness re-entered");
+        let mut h = self.switches.nodes.take(s);
         let mut env = PacketEnv {
             w: &mut *self,
             sched,
             s,
         };
         let r = f(&mut h, &mut env);
-        let sw = &mut self.switches[s];
-        for (port, dead) in sw.dead.iter_mut().enumerate() {
-            *dead = h.autopilot().port_state(port as PortIndex) == PortState::Dead;
-        }
-        sw.harness = Some(h);
+        self.switches.nodes.put(s, h);
         r
     }
 
@@ -171,11 +118,11 @@ impl NetWorld {
         s: usize,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.switches[s].up {
+        if !self.switches.up[s] {
             return;
         }
         self.with_harness(s, sched, |h, env| h.boot(now, env));
-        let h = self.switches[s].harness.as_ref().expect("harness in place");
+        let h = self.switches.nodes.harness(s);
         let (tick, sample) = (h.next_tick(), h.next_sample());
         sched.at(tick, Event::SwitchTick { s });
         sched.at(sample, Event::SwitchSample { s });
@@ -187,15 +134,11 @@ impl NetWorld {
         s: usize,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.switches[s].up {
+        if !self.switches.up[s] {
             return;
         }
         self.with_harness(s, sched, |h, env| h.tick(now, env));
-        let next = self.switches[s]
-            .harness
-            .as_ref()
-            .expect("harness in place")
-            .next_tick();
+        let next = self.switches.nodes.harness(s).next_tick();
         sched.at(next, Event::SwitchTick { s });
     }
 
@@ -205,15 +148,11 @@ impl NetWorld {
         s: usize,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.switches[s].up {
+        if !self.switches.up[s] {
             return;
         }
         self.with_harness(s, sched, |h, env| h.sample(now, env));
-        let next = self.switches[s]
-            .harness
-            .as_ref()
-            .expect("harness in place")
-            .next_sample();
+        let next = self.switches.nodes.harness(s).next_sample();
         sched.at(next, Event::SwitchSample { s });
     }
 
@@ -226,7 +165,7 @@ impl NetWorld {
         via: super::events::Via,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.switches[s].up || !self.via_intact(via) {
+        if !self.switches.up[s] || !self.via_intact(via) {
             self.stats.lost_in_flight += 1;
             return;
         }
@@ -242,7 +181,7 @@ impl NetWorld {
         match packet.ptype {
             PacketType::Data => self.forward_data(now, s, port, packet, sched),
             PacketType::HostSwitch
-                if self.switches[s].autopilot().port_state(port) != PortState::Host =>
+                if self.switches.autopilot(s).port_state(port) != PortState::Host =>
             {
                 // A host's service packet (addressed 0000) reaches the
                 // control processor only via the forwarding entry
@@ -256,13 +195,13 @@ impl NetWorld {
                 // bounded backlog — overload drops packets, and the
                 // protocols recover by retransmission.
                 let cost = self.params.cpu.cost(packet.payload.len());
-                let backlog = self.switches[s].cpu_free.saturating_since(now);
+                let backlog = self.switches.cpu_free[s].saturating_since(now);
                 if backlog > self.params.cpu_backlog_cap {
                     self.stats.cpu_queue_drops += 1;
                     return;
                 }
-                let start = self.switches[s].cpu_free.max(now);
-                self.switches[s].cpu_free = start + cost;
+                let start = self.switches.cpu_free[s].max(now);
+                self.switches.cpu_free[s] = start + cost;
                 sched.at(start + cost, Event::SwitchCpuDone { s, port, packet });
             }
         }
@@ -276,7 +215,7 @@ impl NetWorld {
         packet: autonet_wire::Packet,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.switches[s].up {
+        if !self.switches.up[s] {
             return;
         }
         if let Ok(msg) = ControlMsg::decode(&packet.payload) {
@@ -292,7 +231,7 @@ impl NetWorld {
         payload: SrpPayload,
         sched: &mut Scheduler<'_, Event>,
     ) {
-        if !self.switches[s].up {
+        if !self.switches.up[s] {
             return;
         }
         self.with_harness(s, sched, |h, env| h.srp_request(now, route, payload, env));
@@ -302,12 +241,12 @@ impl NetWorld {
 impl Network {
     /// A switch's control program, for inspection.
     pub fn autopilot(&self, s: SwitchId) -> &Autopilot {
-        self.sim.world().switches[s.0].autopilot()
+        self.sim.world().switches.autopilot(s.0)
     }
 
     /// A switch's currently loaded forwarding table.
     pub fn forwarding_table(&self, s: SwitchId) -> &ForwardingTable {
-        &self.sim.world().switches[s.0].table
+        &self.sim.world().switches.table[s.0]
     }
 
     /// Schedules a source-routed (SRP, §6.7) request originating at a
@@ -332,8 +271,10 @@ impl Network {
 
     /// Drains the SRP answers received by a switch's control processor.
     pub fn take_srp_replies(&mut self, s: SwitchId) -> Vec<SrpPayload> {
-        self.sim.world_mut().switches[s.0]
-            .autopilot_mut()
+        self.sim
+            .world_mut()
+            .switches
+            .autopilot_mut(s.0)
             .srp_replies()
     }
 }

@@ -1,6 +1,6 @@
 //! The simulation driver loop.
 
-use crate::queue::EventQueue;
+use crate::calendar::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
 
 /// The model being simulated.
@@ -17,22 +17,50 @@ pub trait World {
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
 }
 
+/// Where a [`Scheduler`] deposits the events a handler emits: straight
+/// into the driver's queue (the classic single-threaded loop), or into a
+/// plain list for a caller that routes them itself (the sharded executor
+/// stamps and distributes emissions across partition queues).
+enum Sink<'a, E> {
+    Queue(&'a mut CalendarQueue<E>),
+    Collect(&'a mut Vec<(SimTime, E)>),
+}
+
 /// Handle used by a [`World`] to schedule follow-up events.
 pub struct Scheduler<'a, E> {
-    queue: &'a mut EventQueue<E>,
+    sink: Sink<'a, E>,
     now: SimTime,
     stop: &'a mut bool,
 }
 
 impl<'a, E> Scheduler<'a, E> {
+    /// A scheduler that records emissions as `(time, event)` pairs instead
+    /// of queueing them, for drivers that order and route events
+    /// themselves (see [`ShardedSimulator`](crate::ShardedSimulator)).
+    pub fn collecting(now: SimTime, out: &'a mut Vec<(SimTime, E)>, stop: &'a mut bool) -> Self {
+        Scheduler {
+            sink: Sink::Collect(out),
+            now,
+            stop,
+        }
+    }
+
     /// Returns the current simulation time.
     pub fn now(&self) -> SimTime {
         self.now
     }
 
+    fn push(&mut self, at: SimTime, event: E) {
+        match &mut self.sink {
+            Sink::Queue(q) => q.push(at, event),
+            Sink::Collect(v) => v.push((at, event)),
+        }
+    }
+
     /// Schedules `event` to fire `delay` after the current instant.
     pub fn after(&mut self, delay: SimDuration, event: E) {
-        self.queue.push(self.now + delay, event);
+        let at = self.now + delay;
+        self.push(at, event);
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -47,7 +75,7 @@ impl<'a, E> Scheduler<'a, E> {
             "cannot schedule into the past: {at} < {}",
             self.now
         );
-        self.queue.push(at, event);
+        self.push(at, event);
     }
 
     /// Requests that the driver loop stop after the current event.
@@ -59,7 +87,7 @@ impl<'a, E> Scheduler<'a, E> {
 /// Drives a [`World`] through its event queue in virtual time.
 pub struct Simulator<W: World> {
     world: W,
-    queue: EventQueue<W::Event>,
+    queue: CalendarQueue<W::Event>,
     now: SimTime,
     events_processed: u64,
     stop_requested: bool,
@@ -70,7 +98,7 @@ impl<W: World> Simulator<W> {
     pub fn new(world: W) -> Self {
         Simulator {
             world,
-            queue: EventQueue::new(),
+            queue: CalendarQueue::new(),
             now: SimTime::ZERO,
             events_processed: 0,
             stop_requested: false,
@@ -145,7 +173,7 @@ impl<W: World> Simulator<W> {
         self.now = time;
         self.events_processed += 1;
         let mut sched = Scheduler {
-            queue: &mut self.queue,
+            sink: Sink::Queue(&mut self.queue),
             now: self.now,
             stop: &mut self.stop_requested,
         };

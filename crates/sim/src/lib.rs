@@ -39,14 +39,18 @@
 //! assert_eq!(sim.world().fired, 3);
 //! ```
 
+mod calendar;
 mod engine;
 mod queue;
 mod rng;
+mod shard;
 mod time;
 mod trace;
 
+pub use calendar::CalendarQueue;
 pub use engine::{Scheduler, Simulator, World};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use shard::{ShardWorld, ShardedSimulator, EXTERNAL_SOURCE};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceLog};

@@ -1,0 +1,645 @@
+//! Conservative parallel (sharded) event execution.
+//!
+//! The classic [`Simulator`](crate::Simulator) drives one world through one
+//! queue. At the scale tier (1024 switches) the event loop itself becomes
+//! the bottleneck, so this module partitions the world's *nodes* across
+//! shards and runs the shards on real threads, synchronized by the oldest
+//! trick in conservative parallel discrete-event simulation: a lookahead
+//! window. If every cross-node event is scheduled at least `window` after
+//! its cause (for a network simulation, the minimum link latency plus the
+//! minimum serialization time), then events in `[T, T + window)` at one
+//! shard cannot affect any other shard inside the same window — each shard
+//! may process its window without communicating, and cross-shard events are
+//! exchanged at the barrier between windows.
+//!
+//! # Determinism
+//!
+//! The executor is bit-for-bit deterministic **and partition-independent**:
+//! the same world produces the same per-node event history at 1, 2 or 8
+//! shards. Three mechanisms combine to guarantee that:
+//!
+//! - Every event carries a canonical stamp `(time, src, seq)` — the dense
+//!   id of the node whose handler emitted it and a per-node emission
+//!   counter (externally scheduled events use [`EXTERNAL_SOURCE`] and a
+//!   driver-wide counter). Shard queues pop by that total order, so the
+//!   interleaving inside a shard never depends on insertion order, and
+//!   therefore not on which nodes happen to share the shard.
+//! - Cross-shard mailboxes feed the same ordered queues, so exchange
+//!   timing (which *is* thread-racy) cannot reorder anything.
+//! - Reads of another node's latched state go through a [`Mirror`]
+//!   snapshot refreshed at every window barrier — at *every* shard count,
+//!   including one — so observation latency is a property of the window
+//!   grid, not of the partitioning.
+//!
+//! The window grid itself is canonical: window base is the global next
+//! event time rounded down to a multiple of `window`, clamped by the
+//! caller's deadline.
+//!
+//! # World contract
+//!
+//! [`ShardWorld::handle_sharded`] may emit events for the node it is
+//! handling at any time `>= now`, but events for *other* nodes must be at
+//! least `window` in the future (violations panic). State shared between
+//! nodes must be either owned per-node, replicated deterministically
+//! (e.g. fault events broadcast to every shard with identical stamps), or
+//! read through the latched mirror.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as MemOrder};
+use std::sync::{Barrier, Mutex};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Stamp source for events scheduled from outside the event loop.
+pub const EXTERNAL_SOURCE: u32 = u32::MAX;
+
+/// A pending event with its canonical `(time, src, seq)` stamp.
+struct Stamped<E> {
+    time: SimTime,
+    src: u32,
+    seq: u64,
+    event: E,
+}
+
+impl<E> Stamped<E> {
+    fn key(&self) -> (SimTime, u32, u64) {
+        (self.time, self.src, self.seq)
+    }
+}
+
+impl<E> PartialEq for Stamped<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<E> Eq for Stamped<E> {}
+
+impl<E> PartialOrd for Stamped<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Stamped<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// A model that can be partitioned across shards.
+///
+/// Each shard holds one complete instance of the world; the executor
+/// delivers a node's events only to the shard that owns the node, so a
+/// shard's instance is authoritative for its own nodes and a latched
+/// replica for everyone else's.
+pub trait ShardWorld: Send {
+    /// The event payload type.
+    type Event: Send;
+    /// The latched cross-shard state snapshot exchanged at every barrier.
+    type Mirror: Default + Send;
+
+    /// The dense id of the node an event is addressed to. Must be a pure
+    /// function of the event (it keys both routing and the canonical
+    /// stamp, so it has to agree across shards).
+    fn node_of(&self, event: &Self::Event) -> u32;
+
+    /// Processes one event at `now`, pushing follow-up events into `out`.
+    fn handle_sharded(
+        &mut self,
+        now: SimTime,
+        event: Self::Event,
+        out: &mut Vec<(SimTime, Self::Event)>,
+    );
+
+    /// Writes this shard's authoritative slice of the latched state into
+    /// `into` (reusing its storage).
+    fn export_mirror(&self, into: &mut Self::Mirror);
+
+    /// Folds a shard's export (possibly this shard's own) into the local
+    /// latched view.
+    fn apply_mirror(&mut self, from: &Self::Mirror);
+}
+
+struct Shard<W: ShardWorld> {
+    world: W,
+    queue: BinaryHeap<Reverse<Stamped<W::Event>>>,
+    /// Per-node emission counters; only the owner shard ever advances a
+    /// node's counter, so counters stay canonical under any partitioning.
+    seqs: Vec<u64>,
+    /// Scratch buffer handed to `handle_sharded`.
+    emitted: Vec<(SimTime, W::Event)>,
+    /// Cross-shard emissions staged per destination during a window.
+    staged: Vec<Vec<Stamped<W::Event>>>,
+    processed: u64,
+}
+
+impl<W: ShardWorld> Shard<W> {
+    fn peek_ns(&self) -> u64 {
+        self.queue
+            .peek()
+            .map_or(u64::MAX, |Reverse(e)| e.time.as_nanos())
+    }
+
+    /// Processes every pending event with `time < end` in canonical stamp
+    /// order; same-shard emissions join the live queue, cross-shard ones
+    /// are staged for the barrier exchange.
+    fn run_window(&mut self, owner: &[u32], me: u32, end: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(head)) if head.time < end => {}
+                _ => break,
+            }
+            let Reverse(st) = self.queue.pop().expect("peeked");
+            let time = st.time;
+            let node = self.world.node_of(&st.event) as usize;
+            self.emitted.clear();
+            self.world.handle_sharded(time, st.event, &mut self.emitted);
+            self.processed += 1;
+            for (at, ev) in self.emitted.drain(..) {
+                debug_assert!(at >= time, "emission into the past");
+                self.seqs[node] += 1;
+                let stamped = Stamped {
+                    time: at,
+                    src: node as u32,
+                    seq: self.seqs[node],
+                    event: ev,
+                };
+                let dst = owner[self.world.node_of(&stamped.event) as usize];
+                if dst == me {
+                    self.queue.push(Reverse(stamped));
+                } else {
+                    assert!(
+                        at >= end,
+                        "lookahead violation: cross-shard event at {at} inside window ending {end}"
+                    );
+                    self.staged[dst as usize].push(stamped);
+                }
+            }
+        }
+    }
+}
+
+/// Drives a partitioned [`ShardWorld`] with conservative lookahead
+/// windows; one thread per shard when there is more than one.
+pub struct ShardedSimulator<W: ShardWorld> {
+    shards: Vec<Shard<W>>,
+    /// Node dense id → owning shard.
+    owner: Vec<u32>,
+    /// Lookahead window in nanoseconds.
+    window_ns: u64,
+    now: SimTime,
+    ext_seq: u64,
+    scratch_mirror: W::Mirror,
+}
+
+impl<W: ShardWorld> ShardedSimulator<W> {
+    /// Builds an executor over one world instance per shard.
+    ///
+    /// `owner[node]` names the shard whose instance is authoritative for
+    /// `node`; `window` is the conservative lookahead bound (the minimum
+    /// cross-node event delay the world guarantees).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no worlds, an owner entry is out of range, or
+    /// the window is zero.
+    pub fn new(worlds: Vec<W>, owner: Vec<u32>, window: SimDuration) -> Self {
+        assert!(!worlds.is_empty(), "at least one shard");
+        assert!(window > SimDuration::ZERO, "zero lookahead window");
+        let nsh = worlds.len() as u32;
+        assert!(
+            owner.iter().all(|&o| o < nsh),
+            "owner entry out of shard range"
+        );
+        let nodes = owner.len();
+        let shards = worlds
+            .into_iter()
+            .map(|world| Shard {
+                world,
+                queue: BinaryHeap::new(),
+                seqs: vec![0; nodes],
+                emitted: Vec::new(),
+                staged: (0..nsh).map(|_| Vec::new()).collect(),
+                processed: 0,
+            })
+            .collect();
+        ShardedSimulator {
+            shards,
+            owner,
+            window_ns: window.as_nanos().max(1),
+            now: SimTime::ZERO,
+            ext_seq: 0,
+            scratch_mirror: W::Mirror::default(),
+        }
+    }
+
+    /// Current simulation time (the last `run_until` deadline reached).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `node`.
+    pub fn owner_of(&self, node: usize) -> usize {
+        self.owner[node] as usize
+    }
+
+    /// Shard `i`'s world instance (authoritative only for its own nodes).
+    pub fn world(&self, i: usize) -> &W {
+        &self.shards[i].world
+    }
+
+    /// Shard `i`'s world instance, mutably (between runs only).
+    pub fn world_mut(&mut self, i: usize) -> &mut W {
+        &mut self.shards[i].world
+    }
+
+    /// Total events processed across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Schedules an event from outside the loop, routed to the owner of
+    /// its target node.
+    pub fn schedule_external(&mut self, at: SimTime, event: W::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let node = self.shards[0].world.node_of(&event) as usize;
+        let dst = self.owner[node] as usize;
+        let seq = self.ext_seq;
+        self.ext_seq += 1;
+        self.shards[dst].queue.push(Reverse(Stamped {
+            time: at,
+            src: EXTERNAL_SOURCE,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedules one logical event into *every* shard (replicated plant
+    /// mutations such as fault injections). All copies carry the same
+    /// stamp, so each shard orders the mutation identically.
+    pub fn schedule_external_all(&mut self, at: SimTime, mut make: impl FnMut() -> W::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let seq = self.ext_seq;
+        self.ext_seq += 1;
+        for shard in &mut self.shards {
+            shard.queue.push(Reverse(Stamped {
+                time: at,
+                src: EXTERNAL_SOURCE,
+                seq,
+                event: make(),
+            }));
+        }
+    }
+
+    /// The window `[base, end)` containing the globally earliest pending
+    /// event, aligned to the window grid and clamped to process events at
+    /// `deadline` inclusively. `None` once nothing is pending by the
+    /// deadline.
+    fn next_window_end(&self, deadline: SimTime) -> Option<SimTime> {
+        let min = self.shards.iter().map(|s| s.peek_ns()).min()?;
+        next_end(min, self.window_ns, deadline)
+    }
+
+    /// Runs until every event at or before `deadline` is processed, then
+    /// advances the clock to `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        if self.shards.len() == 1 {
+            self.run_until_single(deadline);
+        } else {
+            self.run_until_threaded(deadline);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.run_until(self.now + span);
+    }
+
+    /// One shard: the same window/latch schedule, no threads. Kept
+    /// separate so single-shard runs are the determinism baseline rather
+    /// than a degenerate barrier dance.
+    fn run_until_single(&mut self, deadline: SimTime) {
+        while let Some(end) = self.next_window_end(deadline) {
+            let shard = &mut self.shards[0];
+            shard.run_window(&self.owner, 0, end);
+            debug_assert!(shard.staged.iter().all(Vec::is_empty));
+            shard.world.export_mirror(&mut self.scratch_mirror);
+            shard.world.apply_mirror(&self.scratch_mirror);
+        }
+    }
+
+    fn run_until_threaded(&mut self, deadline: SimTime) {
+        let nsh = self.shards.len();
+        let owner = &self.owner;
+        let window_ns = self.window_ns;
+        let barrier = Barrier::new(nsh);
+        let barrier = &barrier;
+        // One mailbox and one mirror slot per shard; workers touch only
+        // their own slot during a window, everyone reads between barriers.
+        let mailboxes: Vec<Mutex<Vec<Stamped<W::Event>>>> =
+            (0..nsh).map(|_| Mutex::new(Vec::new())).collect();
+        let mailboxes = &mailboxes;
+        let mirrors: Vec<Mutex<W::Mirror>> =
+            (0..nsh).map(|_| Mutex::new(W::Mirror::default())).collect();
+        let mirrors = &mirrors;
+        let peeks: Vec<AtomicU64> = self
+            .shards
+            .iter()
+            .map(|s| AtomicU64::new(s.peek_ns()))
+            .collect();
+        let peeks = &peeks;
+        let round: Mutex<Option<SimTime>> = Mutex::new(None);
+        let round = &round;
+        // A panic inside a worker (a world handler, or the lookahead
+        // assert) must not strand the other workers at a barrier: the
+        // panicking thread raises this flag, *still attends the next
+        // barrier*, and only then unwinds; everyone else sees the flag at
+        // the same barrier and exits cleanly, so the scope join propagates
+        // the original panic.
+        let poisoned = AtomicBool::new(false);
+        let poisoned = &poisoned;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(nsh);
+            for (me, shard) in self.shards.iter_mut().enumerate() {
+                handles.push(scope.spawn(move || {
+                    fn bail(work: std::thread::Result<()>) -> bool {
+                        match work {
+                            Err(payload) => resume_unwind(payload),
+                            Ok(()) => true,
+                        }
+                    }
+                    loop {
+                        // Phase 1 — shard 0 publishes the next window
+                        // (computed from the peeks everyone published at
+                        // the end of the previous round).
+                        if me == 0 {
+                            let min = peeks.iter().map(|p| p.load(MemOrder::Relaxed)).min();
+                            *round.lock().expect("round lock") = min
+                                .filter(|&m| m != u64::MAX)
+                                .and_then(|m| next_end(m, window_ns, deadline));
+                        }
+                        barrier.wait();
+                        let Some(end) = *round.lock().expect("round lock") else {
+                            break;
+                        };
+                        // Phase 2 — process the window in isolation, then
+                        // publish cross-shard events and the mirror slice.
+                        let work = catch_unwind(AssertUnwindSafe(|| {
+                            shard.run_window(owner, me as u32, end);
+                            for (dst, staged) in shard.staged.iter_mut().enumerate() {
+                                if !staged.is_empty() {
+                                    mailboxes[dst].lock().expect("mailbox lock").append(staged);
+                                }
+                            }
+                            shard
+                                .world
+                                .export_mirror(&mut mirrors[me].lock().expect("mirror lock"));
+                        }));
+                        if work.is_err() {
+                            poisoned.store(true, MemOrder::SeqCst);
+                        }
+                        barrier.wait();
+                        if poisoned.load(MemOrder::SeqCst) && bail(work) {
+                            break;
+                        }
+                        // Phase 3 — drain our mailbox (arrival order is
+                        // racy; the keyed queue restores canonical order),
+                        // latch every shard's mirror, publish our peek.
+                        let work = catch_unwind(AssertUnwindSafe(|| {
+                            for st in mailboxes[me].lock().expect("mailbox lock").drain(..) {
+                                shard.queue.push(Reverse(st));
+                            }
+                            for mirror in mirrors {
+                                shard
+                                    .world
+                                    .apply_mirror(&mirror.lock().expect("mirror lock"));
+                            }
+                            peeks[me].store(shard.peek_ns(), MemOrder::Relaxed);
+                        }));
+                        if work.is_err() {
+                            poisoned.store(true, MemOrder::SeqCst);
+                        }
+                        barrier.wait();
+                        if poisoned.load(MemOrder::SeqCst) && bail(work) {
+                            break;
+                        }
+                    }
+                }));
+            }
+            // Join explicitly so the *original* panic payload (not the
+            // scope's generic one) reaches the caller.
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    resume_unwind(payload);
+                }
+            }
+        });
+    }
+}
+
+/// End of the grid-aligned window containing an event at `min_ns`, clamped
+/// so events at the deadline itself are still processed; `None` if the
+/// earliest event lies beyond the deadline.
+fn next_end(min_ns: u64, window_ns: u64, deadline: SimTime) -> Option<SimTime> {
+    if min_ns > deadline.as_nanos() {
+        return None;
+    }
+    let base = min_ns / window_ns * window_ns;
+    let end = (base + window_ns).min(deadline.as_nanos().saturating_add(1));
+    Some(SimTime::from_nanos(end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NODES: usize = 12;
+    const HOP: u64 = 1_000; // cross-node delay ≥ window
+
+    /// Token passes between nodes; every hop also spawns a zero-delay
+    /// local bookkeeping event. Each world logs what its *own* nodes saw.
+    struct Ring {
+        mine: Vec<bool>,
+        log: Vec<(u64, u32, u64)>,
+        counters: Vec<u64>,
+        latched_sum: u64,
+        mirror_counts: Vec<u64>,
+    }
+
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Token { node: u32, hops: u64 },
+        Local { node: u32 },
+    }
+
+    #[derive(Default)]
+    struct Counts(Vec<(u32, u64)>);
+
+    impl ShardWorld for Ring {
+        type Event = Ev;
+        type Mirror = Counts;
+
+        fn node_of(&self, ev: &Ev) -> u32 {
+            match *ev {
+                Ev::Token { node, .. } | Ev::Local { node } => node,
+            }
+        }
+
+        fn handle_sharded(&mut self, now: SimTime, ev: Ev, out: &mut Vec<(SimTime, Ev)>) {
+            match ev {
+                Ev::Token { node, hops } => {
+                    // Read latched foreign state so staleness is part of
+                    // what determinism must reproduce.
+                    self.latched_sum = self
+                        .latched_sum
+                        .wrapping_add(self.mirror_counts.iter().sum::<u64>());
+                    self.log.push((now.as_nanos(), node, hops));
+                    self.counters[node as usize] += 1;
+                    if hops > 0 {
+                        let next = (node + 1) % NODES as u32;
+                        let jitter = (hops * 37) % 5 * 100;
+                        out.push((
+                            now + SimDuration::from_nanos(HOP + jitter),
+                            Ev::Token {
+                                node: next,
+                                hops: hops - 1,
+                            },
+                        ));
+                        out.push((now, Ev::Local { node }));
+                    }
+                }
+                Ev::Local { node } => {
+                    self.counters[node as usize] += 10;
+                }
+            }
+        }
+
+        fn export_mirror(&self, into: &mut Counts) {
+            into.0.clear();
+            for (n, &c) in self.counters.iter().enumerate() {
+                if self.mine[n] {
+                    into.0.push((n as u32, c));
+                }
+            }
+        }
+
+        fn apply_mirror(&mut self, from: &Counts) {
+            for &(n, c) in &from.0 {
+                self.mirror_counts[n as usize] = c;
+            }
+        }
+    }
+
+    fn run(nshards: usize) -> (Vec<(u64, u32, u64)>, Vec<u64>, u64) {
+        let owner: Vec<u32> = (0..NODES).map(|n| (n * nshards / NODES) as u32).collect();
+        let worlds: Vec<Ring> = (0..nshards as u32)
+            .map(|k| Ring {
+                mine: owner.iter().map(|&o| o == k).collect(),
+                log: Vec::new(),
+                counters: vec![0; NODES],
+                latched_sum: 0,
+                mirror_counts: vec![0; NODES],
+            })
+            .collect();
+        let mut sim = ShardedSimulator::new(worlds, owner.clone(), SimDuration::from_nanos(HOP));
+        for n in 0..4u32 {
+            sim.schedule_external(
+                SimTime::from_nanos(u64::from(n) * 250),
+                Ev::Token {
+                    node: n * 3 % NODES as u32,
+                    hops: 200,
+                },
+            );
+        }
+        sim.run_until(SimTime::from_millis(10));
+        // Merge the shard logs canonically: by (time, node), each node's
+        // own order preserved.
+        let mut log: Vec<(u64, u32, u64)> = sim
+            .shards
+            .iter()
+            .flat_map(|s| s.world.log.iter().copied())
+            .collect();
+        log.sort_by_key(|&(t, n, _)| (t, n));
+        let counters: Vec<u64> = (0..NODES)
+            .map(|n| sim.shards[owner[n] as usize].world.counters[n])
+            .collect();
+        let latched: u64 = sim
+            .shards
+            .iter()
+            .map(|s| s.world.latched_sum)
+            .fold(0, u64::wrapping_add);
+        (log, counters, latched)
+    }
+
+    #[test]
+    fn shard_counts_agree_bit_for_bit() {
+        let base = run(1);
+        for nshards in [2, 3, 4, 8] {
+            let other = run(nshards);
+            assert_eq!(base, other, "divergence at {nshards} shards");
+        }
+    }
+
+    #[test]
+    fn events_are_conserved() {
+        let (log, counters, _) = run(4);
+        // 4 tokens × 201 token deliveries each.
+        assert_eq!(log.len(), 4 * 201);
+        // Every delivery with hops > 0 also fired a local event (+10).
+        let total: u64 = counters.iter().sum();
+        assert_eq!(total, 4 * 201 + 10 * 4 * 200);
+    }
+
+    #[test]
+    fn deadline_is_inclusive_and_advances_clock() {
+        let owner = vec![0u32];
+        let worlds = vec![Ring {
+            mine: vec![true; NODES],
+            log: Vec::new(),
+            counters: vec![0; NODES],
+            latched_sum: 0,
+            mirror_counts: vec![0; NODES],
+        }];
+        let mut sim = ShardedSimulator::new(worlds, owner, SimDuration::from_nanos(HOP));
+        sim.schedule_external(SimTime::from_nanos(500), Ev::Token { node: 0, hops: 0 });
+        sim.schedule_external(SimTime::from_nanos(501), Ev::Token { node: 0, hops: 0 });
+        sim.run_until(SimTime::from_nanos(500));
+        assert_eq!(sim.world(0).log.len(), 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(500));
+        sim.run_until(SimTime::from_nanos(600));
+        assert_eq!(sim.world(0).log.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn undeclared_cross_shard_delay_panics() {
+        struct Bad;
+        impl ShardWorld for Bad {
+            type Event = u32;
+            type Mirror = ();
+            fn node_of(&self, ev: &u32) -> u32 {
+                *ev
+            }
+            fn handle_sharded(&mut self, now: SimTime, ev: u32, out: &mut Vec<(SimTime, u32)>) {
+                if ev == 0 {
+                    out.push((now, 1)); // zero-delay cross-node: illegal
+                }
+            }
+            fn export_mirror(&self, _into: &mut ()) {}
+            fn apply_mirror(&mut self, _from: &()) {}
+        }
+        let mut sim =
+            ShardedSimulator::new(vec![Bad, Bad], vec![0, 1], SimDuration::from_nanos(100));
+        sim.schedule_external(SimTime::ZERO, 0);
+        sim.run_until(SimTime::from_nanos(1000));
+    }
+}

@@ -1,0 +1,134 @@
+//! The calendar queue must be a drop-in replacement for the binary-heap
+//! reference: identical pop order — including FIFO tie-breaking among
+//! simultaneous events — on adversarial batches of clustered, spread, and
+//! far-future timestamps, under arbitrary push/pop interleavings.
+
+use proptest::prelude::*;
+
+use autonet_sim::{CalendarQueue, EventQueue, SimTime};
+
+/// Strategy: timestamps drawn from several regimes the simulator actually
+/// produces — dense clusters (same-instant tick storms), microsecond-scale
+/// packet latencies, and far-future timers many wheel rotations out.
+fn time_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        // Heavy clustering: few distinct instants, many ties.
+        (0u64..16).prop_map(|t| t * 1_000),
+        // Packet-latency scale.
+        0u64..2_000_000,
+        // Timer scale (milliseconds to seconds).
+        (0u64..5_000).prop_map(|t| t * 1_000_000),
+        // Far future: hours of simulated time ahead.
+        (0u64..100).prop_map(|t| t * 3_600_000_000_000),
+    ]
+}
+
+/// One scripted operation: push at a timestamp, or pop.
+#[derive(Clone, Debug)]
+enum Op {
+    Push(u64),
+    Pop,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => time_strategy().prop_map(Op::Push),
+            1 => Just(Op::Pop),
+        ],
+        1..600,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Batch fill, then full drain: both queues yield the same (time,
+    /// payload) sequence.
+    #[test]
+    fn full_drain_matches_reference(times in prop::collection::vec(time_strategy(), 1..800)) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            heap.push(SimTime::from_nanos(t), i);
+            cal.push(SimTime::from_nanos(t), i);
+        }
+        prop_assert_eq!(heap.len(), cal.len());
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Arbitrary interleavings of pushes and pops (pops may hit an empty
+    /// queue): every pop returns the same thing from both queues, and
+    /// peeks agree throughout.
+    #[test]
+    fn interleaved_ops_match_reference(ops in ops_strategy()) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut payload = 0usize;
+        for op in ops {
+            match op {
+                Op::Push(t) => {
+                    heap.push(SimTime::from_nanos(t), payload);
+                    cal.push(SimTime::from_nanos(t), payload);
+                    payload += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(heap.pop(), cal.pop());
+                }
+            }
+            prop_assert_eq!(heap.peek_time(), cal.peek_time());
+            prop_assert_eq!(heap.len(), cal.len());
+        }
+        // Drain the remainder.
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// A simulator-shaped workload: monotone "now" advancing with each
+    /// pop, pushes always at or after now (the Scheduler's contract), with
+    /// bursts of simultaneous events.
+    #[test]
+    fn causal_workload_matches_reference(
+        seeds in prop::collection::vec((0u64..50_000, 1u8..8), 1..300)
+    ) {
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut payload = 0usize;
+        let mut now = 0u64;
+        for (delay, burst) in seeds {
+            for _ in 0..burst {
+                let t = now + delay;
+                heap.push(SimTime::from_nanos(t), payload);
+                cal.push(SimTime::from_nanos(t), payload);
+                payload += 1;
+            }
+            let a = heap.pop();
+            let b = cal.pop();
+            prop_assert_eq!(a, b);
+            if let Some((t, _)) = a {
+                now = t.as_nanos();
+            }
+        }
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -190,6 +190,96 @@ pub fn hypercube(dim: usize, seed: u64) -> Topology {
     from_edges(n, &edges, seed, LinkTiming::coax_100m())
 }
 
+/// An extended generalized fat tree (XGFT) with equal up- and
+/// down-arity per level: `arities = [m1, ..., mh]` builds an
+/// `h + 1`-level folded Clos where a height-`l` subtree is `m_l` copies
+/// of a height-`l-1` subtree capped by `m_l × (tops of the copy)` new
+/// switches, each new switch linking to the same top position in every
+/// copy. With `w = m` at every level the level populations are all
+/// equal (`m1 · m2 · ... · mh` switches each), so the total is
+/// `(h + 1) · ∏ mᵢ`:
+///
+/// - `[8, 2, 4]` → 4 × 64 = 256 switches,
+/// - `[8, 3, 6]` → 4 × 144 = 576 switches,
+/// - `[8, 4, 8]` → 4 × 256 = 1024 switches,
+///
+/// all within the 12-external-port budget (a middle-level switch uses
+/// `m_l + m_{l+1}` trunk ports). Leaves come first in index order,
+/// level by level; the top level is last.
+///
+/// # Panics
+///
+/// Panics if `arities` is empty, any arity is zero, or any switch
+/// would need more than 12 trunk ports.
+pub fn fat_tree(arities: &[usize], seed: u64) -> Topology {
+    assert!(!arities.is_empty(), "need at least one level");
+    assert!(arities.iter().all(|&m| m > 0), "arities must be positive");
+    assert!(arities[0] <= 12, "leaf up-degree exceeds 12 ports");
+    assert!(
+        arities.windows(2).all(|w| w[0] + w[1] <= 12),
+        "middle-level degree exceeds 12 ports"
+    );
+    assert!(*arities.last().expect("non-empty") <= 12);
+
+    /// Builds one height-`l` subtree; returns its top-level switch ids.
+    fn build(arities: &[usize], next: &mut usize, edges: &mut Vec<(usize, usize)>) -> Vec<usize> {
+        let Some((&m, rest)) = arities.split_last() else {
+            let id = *next;
+            *next += 1;
+            return vec![id];
+        };
+        let copies: Vec<Vec<usize>> = (0..m).map(|_| build(rest, next, edges)).collect();
+        let per_copy = copies[0].len();
+        let mut tops = Vec::with_capacity(m * per_copy);
+        // w = m new tops per top position: position t of every copy
+        // gets one uplink to each of the m switches covering t.
+        for _k in 0..m {
+            for t in 0..per_copy {
+                let id = *next;
+                *next += 1;
+                for copy in &copies {
+                    edges.push((copy[t], id));
+                }
+                tops.push(id);
+            }
+        }
+        tops
+    }
+
+    let mut edges = Vec::new();
+    let mut next = 0usize;
+    build(arities, &mut next, &mut edges);
+    from_edges(next, &edges, seed, LinkTiming::coax_100m())
+}
+
+/// A random regular expander: the union of `cycles` independent random
+/// Hamiltonian cycles on `n` switches (degree `2 × cycles`). Random
+/// cycle unions are expanders with high probability, giving the
+/// low-diameter / high-bisection counterpart to the fat tree at the
+/// same switch count. Coinciding edges from different cycles become
+/// parallel trunk links (a trunk group), which Autonet handles.
+///
+/// # Panics
+///
+/// Panics if `n < 3` or `cycles` is not in `1..=6` (the 12-port limit).
+pub fn expander(n: usize, cycles: usize, seed: u64) -> Topology {
+    assert!(n >= 3, "an expander cycle needs at least 3 switches");
+    assert!(
+        (1..=6).contains(&cycles),
+        "degree 2 × cycles must fit in 12 ports"
+    );
+    let mut rng = SimRng::new(seed ^ 0xE8A9_D3C1);
+    let mut edges = Vec::new();
+    for _ in 0..cycles {
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        for i in 0..n {
+            edges.push((order[i], order[(i + 1) % n]));
+        }
+    }
+    from_edges(n, &edges, seed, LinkTiming::coax_100m())
+}
+
 /// A random connected topology: a uniform random spanning tree plus
 /// `extra_links` random non-loop links, respecting the 12-port limit.
 ///
@@ -374,6 +464,53 @@ mod tests {
         assert_eq!(t.num_switches(), 16);
         assert_eq!(t.num_links(), 32);
         assert_eq!(diameter(&t.view_all()), Some(4));
+    }
+
+    #[test]
+    fn fat_tree_level_populations_and_ports() {
+        // The three E22 rows: equal level populations, total (h+1)·∏m.
+        for (arities, want) in [
+            (vec![8usize, 2, 4], 256usize),
+            (vec![8, 3, 6], 576),
+            (vec![8, 4, 8], 1024),
+        ] {
+            let t = fat_tree(&arities, 0);
+            assert_eq!(t.num_switches(), want, "{arities:?}");
+            assert!(is_connected(&t.view_all()), "{arities:?} disconnected");
+            for s in t.switch_ids() {
+                let trunks = t.links_at(s).count();
+                assert!(trunks <= 12, "{s:?} has {trunks} trunk ports");
+            }
+        }
+        // Link count for [8, 2, 4]: 8 × 64 + 4 × 32 + 1 × 256 = 896.
+        let t = fat_tree(&[8, 2, 4], 0);
+        assert_eq!(t.num_links(), 896);
+    }
+
+    #[test]
+    fn small_fat_tree_shape() {
+        // [2, 2]: 4 leaves, 4 middle, 4 top; every leaf reaches every
+        // other leaf within 4 hops (up to the top, back down).
+        let t = fat_tree(&[2, 2], 0);
+        assert_eq!(t.num_switches(), 12);
+        // 2 subtrees × 4 links inside, then 4 top switches × 2 downlinks.
+        assert_eq!(t.num_links(), 16);
+        assert!(is_connected(&t.view_all()));
+        assert!(diameter(&t.view_all()).unwrap() <= 4);
+    }
+
+    #[test]
+    fn expander_is_regular_and_low_diameter() {
+        let t = expander(64, 3, 7);
+        assert_eq!(t.num_switches(), 64);
+        assert_eq!(t.num_links(), 3 * 64);
+        assert!(is_connected(&t.view_all()));
+        for s in t.switch_ids() {
+            assert_eq!(t.links_at(s).count(), 6, "{s:?} not 6-regular");
+        }
+        // 6-regular random graphs on 64 nodes have diameter ~3-4; allow
+        // slack but catch gross non-expansion.
+        assert!(diameter(&t.view_all()).unwrap() <= 6);
     }
 
     #[test]

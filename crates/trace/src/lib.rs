@@ -87,6 +87,12 @@ impl EventLog {
         self.records.len()
     }
 
+    /// Drops every record past the first `len` (a speculative handler run
+    /// whose observable effects must be discarded).
+    pub fn truncate(&mut self, len: usize) {
+        self.records.truncate(len);
+    }
+
     /// Whether there is nothing to drain.
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()

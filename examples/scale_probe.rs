@@ -1,0 +1,124 @@
+//! Diagnostic probe for large-topology reconfiguration: bring a topology
+//! up, cut a trunk, and report convergence progress and drop counters.
+//!
+//! ```sh
+//! cargo run --release --example scale_probe -- torus 10 10
+//! ```
+
+use autonet::net::{NetParams, Network};
+use autonet::sim::{SimDuration, SimTime};
+use autonet::topo::{gen, LinkId, SwitchId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kind = args.get(1).map(String::as_str).unwrap_or("torus");
+    let a: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let b: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let topo = match kind {
+        "torus" => gen::torus(a, b, 99),
+        // fat_tree N: the three E22 rows by total switch count.
+        "fat_tree" => match a {
+            256 => gen::fat_tree(&[8, 2, 4], 99),
+            576 => gen::fat_tree(&[8, 3, 6], 99),
+            1024 => gen::fat_tree(&[8, 4, 8], 99),
+            other => panic!("no fat-tree row with {other} switches"),
+        },
+        // expander N k
+        "expander" => gen::expander(a, b.clamp(1, 6), 99),
+        other => panic!("unknown topology {other}"),
+    };
+    let n = topo.num_switches();
+    let params = if kind == "torus" {
+        let mut p = NetParams::tuned();
+        p.tracing = false;
+        p
+    } else {
+        NetParams::scale()
+    };
+    let wall = std::time::Instant::now();
+    let mut net = Network::new(topo, params, 2);
+    match net.run_until_stable_every(SimDuration::from_millis(100), SimTime::from_secs(120)) {
+        Some(t) => println!(
+            "{n}-switch bring-up converged at sim {t} (wall {:?}, {} events)",
+            wall.elapsed(),
+            net.events().len()
+        ),
+        None => println!("{n}-switch bring-up DID NOT converge"),
+    }
+    report(&net);
+    let fault = net.now() + SimDuration::from_millis(10);
+    net.schedule_link_down(fault, LinkId(0));
+    let wall2 = std::time::Instant::now();
+    let t0 = net.now();
+    match net.run_until_stable_every(
+        SimDuration::from_millis(50),
+        net.now() + SimDuration::from_secs(60),
+    ) {
+        Some(t) => {
+            let open = (0..n)
+                .filter(|&s| net.autopilot(SwitchId(s)).is_open())
+                .count();
+            println!(
+                "cut -> reconverged at sim {} (ran {}, wall {:?}, open={open}/{n})",
+                t,
+                net.now().saturating_since(t0),
+                wall2.elapsed()
+            );
+        }
+        None => println!("cut -> DID NOT reconverge (wall {:?})", wall2.elapsed()),
+    }
+    report(&net);
+}
+
+fn report(net: &Network) {
+    let n = net.topology().num_switches();
+    let stats = net.stats();
+    let mut epochs = std::collections::BTreeMap::new();
+    let mut no_global = 0usize;
+    let mut closed = 0usize;
+    for s in 0..n {
+        let ap = net.autopilot(SwitchId(s));
+        if !ap.is_open() {
+            closed += 1;
+        }
+        match ap.global() {
+            Some(g) => *epochs.entry((g.epoch, g.switches.len())).or_insert(0usize) += 1,
+            None => no_global += 1,
+        }
+    }
+    println!(
+        "  closed={closed} no_global={no_global} epochs(epoch,seen-switches)->count={:?}",
+        epochs
+    );
+    println!(
+        "  reconfigs={} cpu_drops={} lost_in_flight={} control_sent={}",
+        net.total_reconfigs_triggered(),
+        stats.cpu_queue_drops,
+        stats.lost_in_flight,
+        stats.control_sent
+    );
+    // Hunt for duplicate switch entries in the agreed topology.
+    if let Some(g) = net.autopilot(SwitchId(0)).global() {
+        let mut seen = std::collections::BTreeMap::new();
+        for info in g.switches.iter() {
+            seen.entry(info.uid).or_insert_with(Vec::new).push(info);
+        }
+        for (uid, infos) in seen {
+            if infos.len() > 1 {
+                println!("  DUPLICATE {uid}:");
+                for i in infos {
+                    println!(
+                        "    parent={} parent_port={} links={:?} proposed={}",
+                        i.parent,
+                        i.parent_port,
+                        i.links
+                            .iter()
+                            .map(|l| (l.local_port, l.neighbor))
+                            .collect::<Vec<_>>(),
+                        i.proposed_number
+                    );
+                }
+            }
+        }
+    }
+}

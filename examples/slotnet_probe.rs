@@ -1,0 +1,35 @@
+//! Probe: SlotNet throughput and convergence trajectory by torus size.
+use autonet::net::SlotNet;
+use autonet::topo::{gen, SwitchId};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let topo = gen::torus(n, n, 31);
+    let sw = n * n;
+    let mut slot = SlotNet::new(&topo, SlotNet::fast_params());
+    slot.boot();
+    let wall = std::time::Instant::now();
+    for chunk in 1u64..=24 {
+        slot.run_slots(1_000_000);
+        let open = (0..sw)
+            .filter(|&s| slot.autopilot(SwitchId(s)).is_open())
+            .count();
+        let seen = slot
+            .autopilot(SwitchId(0))
+            .global()
+            .map(|g| g.switches.len())
+            .unwrap_or(0);
+        eprintln!(
+            "{chunk:>3}M slots (t={}): open={open}/{sw} sw0-sees={seen} wall={:?}",
+            slot.now(),
+            wall.elapsed()
+        );
+        if open == sw && seen == sw {
+            eprintln!("converged");
+            break;
+        }
+    }
+}

@@ -23,6 +23,14 @@ cargo test -q --test determinism disabled_tracing
 echo "==> campaign corpus (release)"
 cargo test --release -q --test check_campaigns -- --ignored
 
+echo "==> scale tier (release)"
+cargo test --release -q --test scale -- --ignored
+cargo test --release -q --test harness_conformance -- --ignored
+
+echo "==> scale smoke + bench JSON schema"
+SCALE_SMOKE=1 cargo bench -q -p autonet-bench --bench exp_scale
+python3 scripts/check_bench_schema.py BENCH_scale_smoke.json BENCH_scale.json
+
 # Opt-in: regenerate the machine-readable experiment results at the repo
 # root (BENCH_reconfig.json, BENCH_interruption.json). Off by default —
 # the bench crate sits outside default-members.

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Schema check for the machine-readable bench artifacts (BENCH_*.json).
+
+Validates structure and value sanity so a bench that silently emits
+garbage (or a kernel regression that tanks throughput to zero) fails the
+gate. Usage: check_bench_schema.py FILE...
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"schema check FAILED: {path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(path, obj, key, types):
+    if key not in obj:
+        fail(path, f"missing key {key!r}")
+    if not isinstance(obj[key], types):
+        fail(path, f"key {key!r} has type {type(obj[key]).__name__}")
+    return obj[key]
+
+
+def check_scale(path, doc):
+    require(path, doc, "preset", str)
+    require(path, doc, "smoke", bool)
+    rows = require(path, doc, "topologies", list)
+    if not rows:
+        fail(path, "no topology rows")
+    for row in rows:
+        require(path, row, "topology", str)
+        for key in ("switches", "links", "events"):
+            if require(path, row, key, int) <= 0:
+                fail(path, f"{row['topology']}: {key} must be positive")
+        for key in (
+            "bringup_sim_ms",
+            "bringup_wall_s",
+            "cut_sim_ms",
+            "cut_wall_s",
+            "events_per_sec",
+            "wall_per_sim_sec",
+        ):
+            if require(path, row, key, (int, float)) <= 0:
+                fail(path, f"{row['topology']}: {key} must be positive")
+
+
+def check_generic(path, doc):
+    # Every bench artifact names its experiment; beyond that the bodies
+    # are experiment-specific.
+    require(path, doc, "experiment", str)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, str(e))
+        experiment = require(path, doc, "experiment", str)
+        if experiment == "scale":
+            check_scale(path, doc)
+        else:
+            check_generic(path, doc)
+        print(f"schema OK: {path} ({experiment})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

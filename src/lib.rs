@@ -64,7 +64,7 @@ pub mod prelude {
         Autopilot, AutopilotParams, ControlMsg, Epoch, PortState, RouteKind, TerminationMode,
     };
     pub use autonet_host::{EthFrame, HostController, HostParams, LocalNet};
-    pub use autonet_net::{workload, NetParams, Network, TokenRing};
+    pub use autonet_net::{workload, NetParams, Network, PartitionedNetwork, TokenRing};
     pub use autonet_sim::{SimDuration, SimRng, SimTime};
     pub use autonet_switch::{ForwardingTable, PortSet};
     pub use autonet_topo::{gen, HostId, LinkId, SwitchId, Topology};

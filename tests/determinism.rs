@@ -2,9 +2,9 @@
 //! histories, which is what makes every experiment in EXPERIMENTS.md
 //! reproducible.
 
-use autonet::net::{NetParams, Network};
+use autonet::net::{NetParams, Network, PartitionedNetwork};
 use autonet::sim::{SimDuration, SimTime};
-use autonet::topo::{gen, HostId, LinkId};
+use autonet::topo::{gen, HostId, LinkId, SwitchId};
 
 fn run_once(seed: u64) -> (Vec<String>, Vec<(u64, usize)>) {
     let mut topo = gen::torus(3, 3, 77);
@@ -146,6 +146,105 @@ fn disabled_tracing_keeps_the_datapath_byte_identical() {
             .collect::<Vec<_>>()
     };
     assert_eq!(events(&on), events(&off), "event log must be bit-identical");
+}
+
+/// Everything observable a partitioned campaign produces, in canonical
+/// (partition-count-independent) form.
+struct PartitionedHistory {
+    trace_jsonl: String,
+    switches: Vec<(bool, u64, u64)>,
+    deliveries: Vec<(u64, u64, usize)>,
+    events: Vec<String>,
+    reconfigs: u64,
+}
+
+/// One full fault campaign — trunk cut and repair, a switch crash and
+/// reboot, a host power cycle, and a stream of host sends — executed on
+/// `nparts` shards. Spans are fixed (no convergence polling) so every
+/// fault lands at the same virtual instant regardless of partitioning.
+fn partitioned_campaign(nparts: usize) -> PartitionedHistory {
+    let mut topo = gen::torus(4, 4, 77);
+    gen::add_dual_homed_hosts(&mut topo, 1, 3);
+    let mut net = PartitionedNetwork::new(topo, NetParams::tuned(), 11, nparts);
+    net.run_for(SimDuration::from_millis(600)); // bring-up
+    let dst = net.topology().host(HostId(5)).uid;
+    for i in 0..20 {
+        net.schedule_host_send(
+            net.now() + SimDuration::from_millis(7) * i,
+            HostId(0),
+            dst,
+            256,
+            100 + i,
+        );
+    }
+    net.schedule_link_down(net.now() + SimDuration::from_millis(40), LinkId(2));
+    net.run_for(SimDuration::from_millis(400));
+    net.schedule_switch_down(net.now() + SimDuration::from_millis(10), SwitchId(6));
+    net.schedule_host_power_off(net.now() + SimDuration::from_millis(15), HostId(2));
+    net.run_for(SimDuration::from_millis(400));
+    net.schedule_link_up(net.now() + SimDuration::from_millis(5), LinkId(2));
+    net.schedule_switch_up(net.now() + SimDuration::from_millis(25), SwitchId(6));
+    net.schedule_host_power_on(net.now() + SimDuration::from_millis(35), HostId(2));
+    net.run_for(SimDuration::from_millis(600));
+    // The merged trace is the canonical artifact: stable-sorted by
+    // (time, node), serialized to JSONL, byte-comparable across runs.
+    let trace_jsonl = autonet::trace::to_jsonl(&net.merged_trace_records());
+    let switches = net
+        .topology()
+        .switch_ids()
+        .map(|s| {
+            let ap = net.autopilot(s);
+            (
+                ap.is_open(),
+                ap.epoch().0,
+                net.forwarding_table(s).canonical_digest(),
+            )
+        })
+        .collect();
+    // Deliveries and events are concatenated per shard, so same-instant
+    // records from different shards have no canonical concat order;
+    // sort by full content before comparing.
+    let mut deliveries: Vec<(u64, u64, usize)> = net
+        .deliveries()
+        .iter()
+        .map(|d| (d.time.as_nanos(), d.tag, d.host.0))
+        .collect();
+    deliveries.sort_unstable();
+    let mut events: Vec<String> = net
+        .events()
+        .iter()
+        .map(|e| format!("{} {:?}", e.time, e.kind))
+        .collect();
+    events.sort_unstable();
+    PartitionedHistory {
+        trace_jsonl,
+        switches,
+        deliveries,
+        events,
+        reconfigs: net.total_reconfigs_triggered(),
+    }
+}
+
+/// The tentpole guarantee: the sharded executor is *invisible*. The same
+/// campaign at 1, 2, and 8 partitions produces byte-identical canonical
+/// trace digests and identical control-plane and data-plane outcomes.
+#[test]
+fn partition_count_is_invisible() {
+    let base = partitioned_campaign(1);
+    assert!(!base.trace_jsonl.is_empty(), "campaign must leave a trace");
+    assert!(!base.deliveries.is_empty(), "hosts must deliver data");
+    assert!(base.reconfigs > 0, "faults must trigger reconfigurations");
+    for nparts in [2, 8] {
+        let other = partitioned_campaign(nparts);
+        assert_eq!(
+            base.trace_jsonl, other.trace_jsonl,
+            "trace digest must not depend on partitioning ({nparts} shards)"
+        );
+        assert_eq!(base.switches, other.switches, "{nparts} shards");
+        assert_eq!(base.deliveries, other.deliveries, "{nparts} shards");
+        assert_eq!(base.events, other.events, "{nparts} shards");
+        assert_eq!(base.reconfigs, other.reconfigs, "{nparts} shards");
+    }
 }
 
 #[test]

@@ -16,9 +16,9 @@
 //! out of service, which is what the protocol requires.
 
 use autonet::autopilot::PortState;
-use autonet::net::{CpuModel, NetParams, Network, SlotNet};
+use autonet::net::{CpuModel, NetParams, Network, PartitionedNetwork, SlotNet};
 use autonet::sim::{SimDuration, SimTime};
-use autonet::topo::{HostId, LinkId, PortUse, SwitchId, Topology};
+use autonet::topo::{gen, HostId, LinkId, PortUse, SwitchId, Topology};
 use autonet::wire::{LinkTiming, PortIndex, Uid, MAX_PORTS};
 
 /// Two switches joined by one trunk, a single-homed host on each — small
@@ -284,6 +284,140 @@ fn packet_and_slot_environments_agree_across_link_fault() {
         assert!(
             backend_epochs.windows(2).all(|w| w[0] == w[1]),
             "single final epoch per backend: {backend_epochs:?}"
+        );
+    }
+}
+
+/// Scale-tier conformance on a 16×16 torus: the pooled packet backend
+/// under its two executors — the classic single calendar queue
+/// ([`Network`]) and the sharded conservative-lookahead loop
+/// ([`PartitionedNetwork`]) — must classify every trunk port identically
+/// and each settle the whole fabric on one epoch with the same agreed
+/// topology, through bring-up and a trunk cut. The executors observe
+/// cross-node state at slightly different instants (live reads vs the
+/// window latch), so the *count* of reconfigurations bring-up takes —
+/// the absolute epoch number — is legitimately schedule-dependent;
+/// what must agree is everything the protocol promises: port
+/// classifications, openness, per-backend epoch agreement, and the
+/// reconstructed topology.
+#[test]
+#[ignore = "scale tier: run with --release -- --ignored"]
+fn pooled_executors_agree_on_16x16_torus() {
+    let topo = gen::torus(16, 16, 31);
+    let n = topo.num_switches();
+
+    let mut classic = Network::new(topo.clone(), NetParams::scale(), 2);
+    classic
+        .run_until_stable_every(SimDuration::from_millis(100), SimTime::from_secs(300))
+        .expect("classic bring-up converges");
+    classic.schedule_link_down(classic.now() + SimDuration::from_millis(10), LinkId(0));
+    classic
+        .run_until_stable_every(
+            SimDuration::from_millis(50),
+            classic.now() + SimDuration::from_secs(60),
+        )
+        .expect("classic reconverges after cut");
+
+    let mut sharded = PartitionedNetwork::new(topo.clone(), NetParams::scale(), 2, 4);
+    sharded
+        .run_until_stable_every(SimDuration::from_millis(100), SimTime::from_secs(300))
+        .expect("sharded bring-up converges");
+    sharded.schedule_link_down(sharded.now() + SimDuration::from_millis(10), LinkId(0));
+    sharded
+        .run_until_stable_every(
+            SimDuration::from_millis(50),
+            sharded.now() + SimDuration::from_secs(60),
+        )
+        .expect("sharded reconverges after cut");
+
+    assert_eq!(
+        trunk_states(&topo, |s, p| classic.autopilot(s).port_state(p)),
+        trunk_states(&topo, |s, p| sharded.autopilot(s).port_state(p)),
+        "trunk classifications after cut"
+    );
+    classic
+        .check_against_reference()
+        .expect("classic reference");
+    assert!(sharded.control_plane_consistent(), "sharded consistency");
+    for backend_epochs in [
+        (0..n)
+            .map(|s| {
+                let ap = classic.autopilot(SwitchId(s));
+                assert!(ap.is_open(), "classic: switch {s} reopens");
+                ap.epoch()
+            })
+            .collect::<Vec<_>>(),
+        (0..n)
+            .map(|s| {
+                let ap = sharded.autopilot(SwitchId(s));
+                assert!(ap.is_open(), "sharded: switch {s} reopens");
+                ap.epoch()
+            })
+            .collect::<Vec<_>>(),
+    ] {
+        assert!(
+            backend_epochs.windows(2).all(|w| w[0] == w[1]),
+            "one network-wide epoch per backend: {backend_epochs:?}"
+        );
+    }
+    // Both executors reconstruct the same network: same root, same
+    // membership, and (from the classification equality above) the same
+    // link set.
+    let (cg, sg) = (
+        classic.autopilot(SwitchId(0)).global().expect("classic"),
+        sharded.autopilot(SwitchId(0)).global().expect("sharded"),
+    );
+    assert_eq!(cg.root, sg.root, "agreed root");
+    assert_eq!(cg.switches.len(), sg.switches.len(), "agreed membership");
+    assert_eq!(cg.switches.len(), n, "full fabric");
+}
+
+/// The slot-level oracle at its largest feasible size: a 4×4 torus (the
+/// slot model walks every link unit every 80 ns slot, so 256 switches is
+/// out of reach — the packet-pooled executors cover that scale above).
+/// Both backends must classify every trunk port identically and land on
+/// the same final epoch.
+#[test]
+#[ignore = "scale tier: run with --release -- --ignored"]
+fn packet_and_slot_environments_agree_on_4x4_torus() {
+    let params = SlotNet::fast_params();
+    let topo = gen::torus(4, 4, 31);
+    let n = topo.num_switches();
+
+    let mut slot = SlotNet::new(&topo, params);
+    slot.boot();
+    assert!(
+        slot.run_until_converged(n, 8_000_000),
+        "slot-level bring-up failed (t = {})",
+        slot.now()
+    );
+
+    let net_params = NetParams {
+        autopilot: params,
+        boot_jitter: SimDuration::ZERO,
+        cpu: CpuModel {
+            per_packet: SimDuration::from_micros(5),
+            per_byte: SimDuration::from_nanos(50),
+        },
+        ..NetParams::tuned()
+    };
+    let mut pkt = Network::new(topo.clone(), net_params, 1);
+    assert!(
+        pkt.run_until_stable(SimTime::from_secs(10)).is_some(),
+        "packet-level bring-up failed"
+    );
+
+    assert_eq!(
+        trunk_states(&topo, |s, p| pkt.autopilot(s).port_state(p)),
+        trunk_states(&topo, |s, p| slot.autopilot(s).port_state(p)),
+        "trunk classifications"
+    );
+    for s in topo.switch_ids() {
+        assert_eq!(
+            pkt.autopilot(s).epoch(),
+            slot.autopilot(s).epoch(),
+            "final epoch at switch {}",
+            s.0
         );
     }
 }

@@ -75,8 +75,8 @@ proptest! {
         let topo = gen::random_connected(n, extra, seed);
         let global = global_from_view_simple(&topo.view_all()).expect("non-empty");
         let rc = RouteComputer::new(&global);
-        for a in &global.switches {
-            for b in &global.switches {
+        for a in global.switches.iter() {
+            for b in global.switches.iter() {
                 let legal = rc.legal_dist(a.uid, b.uid);
                 prop_assert!(legal.is_some(), "{:?} cannot reach {:?}", a.uid, b.uid);
                 let short = rc.unrestricted_dist(a.uid, b.uid).unwrap();

@@ -182,7 +182,7 @@ fn loopback_cable_is_excluded_from_routes() {
     assert_eq!(g.switches.len(), 3);
     // The loop link never shows up in anyone's adjacency (only mutually
     // confirmed good links are reported).
-    for s in &g.switches {
+    for s in g.switches.iter() {
         for l in &s.links {
             assert_ne!(l.neighbor, s.uid, "loopback link in topology report");
         }

@@ -2,9 +2,9 @@
 //! dual-connected hosts (§2); the reconfiguration protocol must keep
 //! working well beyond the 30-switch service network.
 
-use autonet::net::{NetParams, Network};
+use autonet::net::{NetParams, Network, PartitionedNetwork};
 use autonet::sim::{SimDuration, SimTime};
-use autonet::topo::{gen, LinkId, SwitchId};
+use autonet::topo::{gen, LinkId, SwitchId, Topology};
 
 #[test]
 fn five_by_five_torus_with_hosts() {
@@ -53,4 +53,85 @@ fn hundred_switch_torus() {
         done.saturating_since(fault) < SimDuration::from_secs(2),
         "even at 100 switches reconfiguration stays subsecond-ish"
     );
+}
+
+/// The scale-tier cycle: cold bring-up, trunk cut, reconvergence — with a
+/// wall-clock budget so kernel regressions fail the gate, not just slow
+/// it down. Budgets are ~10x the measured release-mode cost (bring-up
+/// 2.6 s + cut 0.4 s on the 256-switch fat-tree) to stay robust on slow
+/// CI machines while still catching order-of-magnitude regressions.
+fn scale_tier_cycle(name: &str, topo: Topology, wall_budget_s: u64) {
+    let n = topo.num_switches();
+    let wall = std::time::Instant::now();
+    let mut net = Network::new(topo, NetParams::scale(), 2);
+    net.run_until_stable_every(SimDuration::from_millis(100), SimTime::from_secs(300))
+        .unwrap_or_else(|| panic!("{name}: {n}-switch bring-up converges"));
+    net.check_against_reference().expect("consistent");
+    let fault = net.now() + SimDuration::from_millis(10);
+    net.schedule_link_down(fault, LinkId(0));
+    let done = net
+        .run_until_stable_every(
+            SimDuration::from_millis(50),
+            net.now() + SimDuration::from_secs(60),
+        )
+        .unwrap_or_else(|| panic!("{name}: reconverges after trunk cut"));
+    net.check_against_reference().expect("consistent after cut");
+    assert!(
+        done.saturating_since(fault) < SimDuration::from_secs(2),
+        "{name}: reconfiguration must stay in the seconds range (sim)"
+    );
+    let open = (0..n)
+        .filter(|&s| net.autopilot(SwitchId(s)).is_open())
+        .count();
+    assert_eq!(open, n, "{name}: every switch reopens");
+    let elapsed = wall.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(wall_budget_s),
+        "{name}: wall budget blown: {elapsed:?} > {wall_budget_s} s"
+    );
+    println!("{name}: {n} switches, cycle wall {elapsed:?}");
+}
+
+/// Scale tier (release): a 256-switch three-stage fat tree.
+#[test]
+#[ignore = "scale tier: run with --release -- --ignored"]
+fn fat_tree_256_cycle_within_budget() {
+    scale_tier_cycle("fat_tree 256", gen::fat_tree(&[8, 2, 4], 99), 60);
+}
+
+/// Scale tier (release): a 256-switch degree-8 expander.
+#[test]
+#[ignore = "scale tier: run with --release -- --ignored"]
+fn expander_256_cycle_within_budget() {
+    scale_tier_cycle("expander 256", gen::expander(256, 4, 99), 60);
+}
+
+/// Scale tier (release): the same 256-switch fat tree through the sharded
+/// executor — the partitioned path must also converge, heal a trunk cut,
+/// and end with every switch open on one epoch.
+#[test]
+#[ignore = "scale tier: run with --release -- --ignored"]
+fn fat_tree_256_sharded_cycle() {
+    let topo = gen::fat_tree(&[8, 2, 4], 99);
+    let n = topo.num_switches();
+    let wall = std::time::Instant::now();
+    let mut net = PartitionedNetwork::new(topo, NetParams::scale(), 2, 4);
+    net.run_until_stable_every(SimDuration::from_millis(100), SimTime::from_secs(300))
+        .expect("sharded bring-up converges");
+    net.schedule_link_down(net.now() + SimDuration::from_millis(10), LinkId(0));
+    net.run_until_stable_every(
+        SimDuration::from_millis(50),
+        net.now() + SimDuration::from_secs(60),
+    )
+    .expect("sharded reconvergence after trunk cut");
+    let open = (0..n)
+        .filter(|&s| net.autopilot(SwitchId(s)).is_open())
+        .count();
+    assert_eq!(open, n, "every switch reopens under the sharded executor");
+    let elapsed = wall.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(120),
+        "sharded wall budget blown: {elapsed:?}"
+    );
+    println!("sharded fat_tree 256: cycle wall {elapsed:?}");
 }
