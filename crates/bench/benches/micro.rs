@@ -8,8 +8,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use autonet_core::{
-    compute_forwarding_table, global_from_view_simple, ControlMsg, Epoch, RouteComputer, RouteKind,
-    TreePosition,
+    compute_forwarding_table, global_from_view_simple, ControlMsg, Epoch, RouteCache,
+    RouteComputer, RouteKind, TreePosition,
 };
 use autonet_host::{EthFrame, LocalNet, IP_ETHERTYPE};
 use autonet_sim::SimTime;
@@ -75,6 +75,45 @@ fn bench_route_computation(c: &mut Criterion) {
     });
 }
 
+/// Route-compute cost at the scale tier, tracked independently of the
+/// full sim: the per-switch from-scratch table cost versus what the
+/// shared cache turns it into (one fleet-wide build, then per-switch
+/// synthesis and memo hits).
+fn bench_route_cache_scale(c: &mut Criterion) {
+    for (label, arities) in [
+        ("fat_tree256", &[8usize, 2, 4][..]),
+        ("fat_tree1024", &[8, 4, 8]),
+    ] {
+        let topo = gen::fat_tree(arities, 99);
+        let global = global_from_view_simple(&topo.view_all()).expect("non-empty");
+        let uid = global.switches[global.switches.len() / 2].uid;
+        // What every switch pays without the cache.
+        c.bench_function(&format!("compute_forwarding_table_{label}"), |b| {
+            b.iter(|| {
+                black_box(compute_forwarding_table(
+                    black_box(&global),
+                    uid,
+                    &[],
+                    RouteKind::UpDown,
+                ))
+            })
+        });
+        // The shared build plus one synthesis (first serve of an epoch).
+        c.bench_function(&format!("route_cache_build_{label}"), |b| {
+            b.iter(|| {
+                let cache = RouteCache::new();
+                black_box(cache.table_for(black_box(&global), uid, &[]))
+            })
+        });
+        // What every subsequent serve of the same epoch pays.
+        let warm = RouteCache::new();
+        warm.table_for(&global, uid, &[]);
+        c.bench_function(&format!("route_cache_serve_{label}"), |b| {
+            b.iter(|| black_box(warm.table_for(black_box(&global), uid, &[])))
+        });
+    }
+}
+
 fn bench_codec(c: &mut Criterion) {
     let msg = ControlMsg::TreePositionAck {
         epoch: Epoch(42),
@@ -138,4 +177,9 @@ criterion_group!(
     bench_crc,
     bench_localnet_cache
 );
-criterion_main!(benches);
+criterion_group!(
+    name = route_scale;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_route_cache_scale
+);
+criterion_main!(benches, route_scale);

@@ -23,6 +23,7 @@ use crate::messages::{ControlMsg, SrpPayload};
 use crate::params::AutopilotParams;
 use crate::port_state::PortState;
 use crate::reconfig::{NeighborInfo, ReconfigEngine, ReconfigEvent, ReconfigOutput};
+use crate::route_cache::RouteCache;
 use crate::routes::{compute_forwarding_table, program_one_hop, RouteKind};
 use crate::sampler::{SamplerEvent, StatusSampler};
 use crate::topology::GlobalTopology;
@@ -77,6 +78,10 @@ pub struct Autopilot {
     pending_cause: Option<ReconfigCause>,
     reconfigs_triggered: u64,
     srp_replies: Vec<SrpPayload>,
+    /// Fleet-shared route cache (see [`RouteCache`]). `None` computes
+    /// tables from scratch — the two paths are byte-identical; sharing
+    /// only removes redundant work.
+    route_cache: Option<std::sync::Arc<RouteCache>>,
 }
 
 impl Autopilot {
@@ -102,7 +107,15 @@ impl Autopilot {
             pending_cause: None,
             reconfigs_triggered: 0,
             srp_replies: Vec::new(),
+            route_cache: None,
         }
+    }
+
+    /// Shares a fleet-wide [`RouteCache`] with this instance: table
+    /// reloads are served from it instead of recomputed from scratch.
+    /// Behavior-neutral by the cache's contract; only wall-clock changes.
+    pub fn set_route_cache(&mut self, cache: std::sync::Arc<RouteCache>) {
+        self.route_cache = Some(cache);
     }
 
     /// Turns event tracing on or off. Disabling replaces the ring with an
@@ -512,19 +525,25 @@ impl Autopilot {
     }
 
     /// Rebuilds and loads the forwarding table from the current topology
-    /// and the live host-port set.
+    /// and the live host-port set. The topology is borrowed in place —
+    /// not cloned per reload — and served through the shared route cache
+    /// when one is attached.
     fn reload_table(&mut self, now: SimTime, actions: &mut Vec<Action>) {
-        let Some(global) = self.engine.global().cloned() else {
+        let hosts = self.host_ports();
+        let Some(global) = self.engine.global() else {
             return;
         };
-        let hosts = self.host_ports();
-        if let Some(table) = compute_forwarding_table(&global, self.uid, &hosts, RouteKind::UpDown)
-        {
+        let epoch = global.epoch;
+        let table = match &self.route_cache {
+            Some(cache) => cache.table_for(global, self.uid, &hosts),
+            None => compute_forwarding_table(global, self.uid, &hosts, RouteKind::UpDown),
+        };
+        if let Some(table) = table {
             self.log.log(
                 now,
                 self.log_source,
                 Event::TableInstalled {
-                    epoch: global.epoch,
+                    epoch,
                     table: table.clone(),
                 },
             );
@@ -532,13 +551,8 @@ impl Autopilot {
         } else {
             // A malformed topology (timeout-baseline failure mode): leave
             // the cleared table in place rather than load garbage routes.
-            self.log.log(
-                now,
-                self.log_source,
-                Event::UnroutableTopology {
-                    epoch: global.epoch,
-                },
-            );
+            self.log
+                .log(now, self.log_source, Event::UnroutableTopology { epoch });
         }
     }
 

@@ -38,6 +38,7 @@ mod messages;
 mod params;
 mod port_state;
 mod reconfig;
+mod route_cache;
 mod routes;
 mod sampler;
 mod skeptic;
@@ -54,6 +55,7 @@ pub use messages::{ControlMsg, MsgCodecError, SrpPayload};
 pub use params::{AutopilotParams, TerminationMode};
 pub use port_state::PortState;
 pub use reconfig::{NeighborInfo, ReconfigEngine, ReconfigEvent, ReconfigOutput};
+pub use route_cache::{RouteCache, RouteCacheStats};
 pub use routes::{
     compute_forwarding_table, global_from_view, global_from_view_simple, program_one_hop,
     RouteComputer, RouteKind, RoutingStats,

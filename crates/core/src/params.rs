@@ -106,6 +106,18 @@ impl AutopilotParams {
             ..AutopilotParams::tuned()
         }
     }
+
+    /// The generation after `tuned()`: the shared route cache removes the
+    /// per-switch table recomputation from the control processor's epoch
+    /// budget (§6.6.5's progression continued), so the freed CPU headroom
+    /// is reinvested in a finer timer wheel and snappier retransmission.
+    pub fn incremental() -> Self {
+        AutopilotParams {
+            timer_resolution: SimDuration::from_micros(600),
+            retransmit_interval: SimDuration::from_millis(5),
+            ..AutopilotParams::tuned()
+        }
+    }
 }
 
 impl Default for AutopilotParams {
@@ -127,5 +139,8 @@ mod tests {
         assert!(opt.retransmit_interval > tuned.retransmit_interval);
         assert!(naive.timer_resolution > tuned.timer_resolution);
         assert_eq!(tuned.termination, TerminationMode::Stability);
+        let inc = AutopilotParams::incremental();
+        assert!(tuned.retransmit_interval > inc.retransmit_interval);
+        assert!(tuned.timer_resolution > inc.timer_resolution);
     }
 }

@@ -38,11 +38,11 @@ pub enum RouteKind {
 
 /// A deduplicated physical link in the global topology.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct GLink {
-    a: usize,
-    a_port: PortIndex,
-    b: usize,
-    b_port: PortIndex,
+pub(crate) struct GLink {
+    pub(crate) a: usize,
+    pub(crate) a_port: PortIndex,
+    pub(crate) b: usize,
+    pub(crate) b_port: PortIndex,
 }
 
 /// Aggregate statistics over a route computation, for the experiments.
@@ -76,14 +76,14 @@ pub struct RouteComputer {
     uids: Vec<Uid>,
     index: BTreeMap<Uid, usize>,
     levels: Vec<u32>,
-    links: Vec<GLink>,
+    pub(crate) links: Vec<GLink>,
     /// Per node: outgoing (link index, far node) pairs.
     adj: Vec<Vec<(usize, usize)>>,
 }
 
 /// Phase of a packet under the up\*/down\* rule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Phase {
+pub(crate) enum Phase {
     /// Has not yet traversed a link downward; may still go up.
     Up,
     /// Has gone down; may only continue down.
@@ -171,13 +171,17 @@ impl RouteComputer {
         self.uids.len()
     }
 
-    fn node(&self, uid: Uid) -> Option<usize> {
+    pub(crate) fn node(&self, uid: Uid) -> Option<usize> {
         self.index.get(&uid).copied()
+    }
+
+    pub(crate) fn node_uid(&self, node: usize) -> Uid {
+        self.uids[node]
     }
 
     /// Returns `true` if traversing `link` arriving at `to` moves toward
     /// the "up" end.
-    fn is_up_traversal(&self, link: usize, to: usize) -> bool {
+    pub(crate) fn is_up_traversal(&self, link: usize, to: usize) -> bool {
         let l = &self.links[link];
         let (a, b) = (l.a, l.b);
         let up_end = match self.levels[a].cmp(&self.levels[b]) {
@@ -327,8 +331,12 @@ impl RouteComputer {
     /// synthesis: a switch needs one field per in-phase plus one per
     /// outgoing link's landing state — O(degree) BFS per table — where a
     /// reverse field per destination would cost O(switches) BFS per table
-    /// and make 1024-switch reconfigurations quadratic.
-    fn legal_dists_from_state(&self, src: usize, start: Phase) -> Vec<u32> {
+    /// and make 1024-switch reconfigurations quadratic. The fleet-wide
+    /// dedup goes further still: every one of those fields is the
+    /// from-field of *some* (node, phase) state, so a shared
+    /// [`RouteCache`](crate::route_cache::RouteCache) computes the 2·V
+    /// fields once and serves every switch slices of them.
+    pub(crate) fn legal_dists_from_state(&self, src: usize, start: Phase) -> Vec<u32> {
         let n = self.uids.len();
         let mut dist = vec![u32::MAX; n * 2];
         let mut queue = std::collections::VecDeque::new();
@@ -479,6 +487,23 @@ pub fn program_one_hop(table: &mut ForwardingTable) {
     }
 }
 
+/// This switch's trunk attachment points: `(local port, link index, far
+/// node)` pairs in deterministic [`RouteComputer`] link order. Shared by
+/// the from-scratch path and the route cache so the distance fields they
+/// pass to [`synthesize_table`] align positionally.
+pub(crate) fn link_ports_of(rc: &RouteComputer, me: usize) -> Vec<(PortIndex, usize, usize)> {
+    let mut link_ports: Vec<(PortIndex, usize, usize)> = Vec::new();
+    for (li, l) in rc.links.iter().enumerate() {
+        if l.a == me {
+            link_ports.push((l.a_port, li, l.b));
+        }
+        if l.b == me {
+            link_ports.push((l.b_port, li, l.a));
+        }
+    }
+    link_ports
+}
+
 /// Computes the full forwarding table for switch `my_uid` from the global
 /// topology, with `live_host_ports` being the ports currently classified
 /// `s.host` (which may differ from the epoch snapshot — host arrivals and
@@ -497,43 +522,8 @@ pub fn compute_forwarding_table(
     global.levels()?;
     let rc = RouteComputer::new(global);
     let me = rc.node(my_uid)?;
-    let my_info = global.switch(my_uid)?;
-    global.number_of(my_uid)?;
-    let mut table = ForwardingTable::new();
-    program_one_hop(&mut table);
+    let link_ports = link_ports_of(&rc, me);
 
-    // In-ports and the phase a packet arriving there is in.
-    let mut in_ports: Vec<(PortIndex, Phase)> = vec![(0, Phase::Up)];
-    for &p in live_host_ports {
-        in_ports.push((p, Phase::Up));
-    }
-    // Map my link ports to (link index, far node).
-    let mut link_ports: Vec<(PortIndex, usize, usize)> = Vec::new();
-    for (li, l) in rc.links.iter().enumerate() {
-        if l.a == me {
-            link_ports.push((l.a_port, li, l.b));
-        }
-        if l.b == me {
-            link_ports.push((l.b_port, li, l.a));
-        }
-    }
-    for &(port, li, _far) in &link_ports {
-        // A packet arriving here traversed far→me; that traversal is up if
-        // I am the up end.
-        let phase = match kind {
-            RouteKind::UpDown => {
-                if rc.is_up_traversal(li, me) {
-                    Phase::Up
-                } else {
-                    Phase::Down
-                }
-            }
-            RouteKind::Unrestricted => Phase::Up,
-        };
-        in_ports.push((port, phase));
-    }
-
-    // --- Unicast entries per destination switch --------------------------
     // Forward distance fields, computed once per table: from my own two
     // in-phases, and from the landing state of each of my links (a hop out
     // of an `up` link lands in `(far, Up)`, a hop down in `(far, Down)`).
@@ -568,6 +558,70 @@ pub fn compute_forwarding_table(
             (from_me.clone(), from_me, fields)
         }
     };
+    let field_refs: Vec<(PortIndex, bool, &[u32])> = far_fields
+        .iter()
+        .map(|(port, up, field)| (*port, *up, field.as_slice()))
+        .collect();
+    synthesize_table(
+        &rc,
+        global,
+        my_uid,
+        live_host_ports,
+        kind,
+        &from_me_up,
+        &from_me_down,
+        &field_refs,
+    )
+}
+
+/// Synthesizes switch `my_uid`'s forwarding table from precomputed
+/// distance fields: the switch's own two in-phase fields plus, for each
+/// trunk link in [`link_ports_of`] order, `(local port, is-up, landing
+/// field of the far end)`. This is the single table-construction body —
+/// [`compute_forwarding_table`] feeds it per-switch BFS results, the
+/// shared [`RouteCache`](crate::route_cache::RouteCache) feeds it slices
+/// of the fleet-wide field pool — so cached and from-scratch tables are
+/// identical by construction, not by test alone.
+#[allow(clippy::too_many_arguments)] // the full synthesis input, spelled out
+pub(crate) fn synthesize_table(
+    rc: &RouteComputer,
+    global: &GlobalTopology,
+    my_uid: Uid,
+    live_host_ports: &[PortIndex],
+    kind: RouteKind,
+    from_me_up: &[u32],
+    from_me_down: &[u32],
+    far_fields: &[(PortIndex, bool, &[u32])],
+) -> Option<ForwardingTable> {
+    let me = rc.node(my_uid)?;
+    let my_info = global.switch(my_uid)?;
+    global.number_of(my_uid)?;
+    let link_ports = link_ports_of(rc, me);
+    let mut table = ForwardingTable::new();
+    program_one_hop(&mut table);
+
+    // In-ports and the phase a packet arriving there is in.
+    let mut in_ports: Vec<(PortIndex, Phase)> = vec![(0, Phase::Up)];
+    for &p in live_host_ports {
+        in_ports.push((p, Phase::Up));
+    }
+    for &(port, li, _far) in &link_ports {
+        // A packet arriving here traversed far→me; that traversal is up if
+        // I am the up end.
+        let phase = match kind {
+            RouteKind::UpDown => {
+                if rc.is_up_traversal(li, me) {
+                    Phase::Up
+                } else {
+                    Phase::Down
+                }
+            }
+            RouteKind::Unrestricted => Phase::Up,
+        };
+        in_ports.push((port, phase));
+    }
+
+    // --- Unicast entries per destination switch --------------------------
     for (d, dinfo) in global.switches.iter().enumerate() {
         let d_num = global.number_of(dinfo.uid)?;
         if d == me {
@@ -601,7 +655,7 @@ pub fn compute_forwarding_table(
                     if here == u32::MAX {
                         return set;
                     }
-                    for (port, up, field) in &far_fields {
+                    for (port, up, field) in far_fields {
                         if phase == Phase::Down && *up {
                             continue; // Down-phase packets cannot go up.
                         }
@@ -616,7 +670,7 @@ pub fn compute_forwarding_table(
                     if here == u32::MAX {
                         return set;
                     }
-                    for (port, _up, field) in &far_fields {
+                    for (port, _up, field) in far_fields {
                         if field[d] != u32::MAX && field[d] + 1 == here {
                             set.insert(*port);
                         }

@@ -179,6 +179,52 @@ impl GlobalTopology {
             .iter()
             .filter(move |s| s.parent == uid && s.uid != uid)
     }
+
+    /// A canonical 64-bit digest of the topology *content* — everything
+    /// forwarding tables are derived from — excluding the epoch number.
+    ///
+    /// Two epochs whose agreed topologies are byte-identical (a fault
+    /// detected and repaired between snapshots, or back-to-back faults
+    /// that converge to the same shape) hash equal, so a route cache
+    /// keyed on this digest coalesces their table computations into one.
+    /// FNV-1a over the in-memory order, which is itself canonical: the
+    /// switch list is the root's tree accumulation order and the number
+    /// map iterates sorted by UID.
+    pub fn content_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.root.as_u64());
+        for s in self.switches.iter() {
+            eat(0xA0); // section tag: one switch
+            eat(s.uid.as_u64());
+            eat(u64::from(s.proposed_number));
+            eat(s.parent.as_u64());
+            eat(u64::from(s.parent_port));
+            for l in &s.links {
+                eat(0xA1); // section tag: one link
+                eat(u64::from(l.local_port));
+                eat(l.neighbor.as_u64());
+                eat(u64::from(l.neighbor_port));
+            }
+            for &p in &s.host_ports {
+                eat(0xA2); // section tag: one host port
+                eat(u64::from(p));
+            }
+        }
+        for (&uid, &num) in self.numbers.iter() {
+            eat(0xA3); // section tag: one number assignment
+            eat(uid.as_u64());
+            eat(u64::from(num));
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +319,21 @@ mod tests {
             switches: vec![info(2, 1), info(3, 2)],
         };
         assert!(!rootless.describes_tree(Uid::new(1)));
+    }
+
+    #[test]
+    fn content_digest_ignores_epoch_only() {
+        let a = three_chain();
+        let mut b = three_chain();
+        b.epoch = Epoch(99);
+        assert_eq!(a.content_digest(), b.content_digest());
+        // Any structural change moves the digest.
+        let mut c = three_chain();
+        Arc::make_mut(&mut c.switches)[2].parent_port = 7;
+        assert_ne!(a.content_digest(), c.content_digest());
+        let mut d = three_chain();
+        Arc::make_mut(&mut d.numbers).insert(Uid::new(3), 9);
+        assert_ne!(a.content_digest(), d.content_digest());
     }
 
     #[test]

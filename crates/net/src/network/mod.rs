@@ -99,6 +99,9 @@ impl NetWorld {
     fn build(topo: Topology, params: NetParams, seed: u64) -> (NetWorld, Vec<(SimTime, Event)>) {
         let mut rng = SimRng::new(seed);
         let mut switches = SwitchPool::new();
+        if params.route_cache {
+            switches.route_cache = Some(std::sync::Arc::new(autonet_core::RouteCache::new()));
+        }
         for s in topo.switch_ids() {
             switches.push(
                 topo.switch(s).uid,
@@ -205,6 +208,17 @@ impl Network {
     /// Whether switch `s` is powered right now.
     pub fn switch_is_up(&self, s: autonet_topo::SwitchId) -> bool {
         self.sim.world().switches.up[s.0]
+    }
+
+    /// Work counters of the fleet-shared route cache, if
+    /// [`NetParams::route_cache`](crate::NetParams) is on.
+    pub fn route_cache_stats(&self) -> Option<autonet_core::RouteCacheStats> {
+        self.sim
+            .world()
+            .switches
+            .route_cache
+            .as_ref()
+            .map(|c| c.stats())
     }
 
     /// Drains the typed event spine accumulated since the last drain —

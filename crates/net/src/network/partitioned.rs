@@ -259,10 +259,25 @@ impl PartitionedNetwork {
             .collect();
         let window = lookahead_window(&topo, &params);
         let mut boots = Vec::new();
+        // One route cache for ALL shards: every serve is a pure function
+        // of its inputs, so cross-shard sharing (and speculative serves
+        // that later get truncated) cannot perturb behavior — a shard
+        // only ever reads what it would have computed itself.
+        let shared_cache = params
+            .route_cache
+            .then(|| std::sync::Arc::new(autonet_core::RouteCache::new()));
         let worlds: Vec<PartWorld> = (0..nparts as u32)
             .map(|me| {
                 let (mut net, b) = NetWorld::build(topo.clone(), params, seed);
                 net.latched = Some(Latched::initial(&net));
+                if let Some(cache) = &shared_cache {
+                    net.switches.route_cache = Some(std::sync::Arc::clone(cache));
+                    for s in 0..net.switches.len() {
+                        net.switches
+                            .autopilot_mut(s)
+                            .set_route_cache(std::sync::Arc::clone(cache));
+                    }
+                }
                 if me == 0 {
                     boots = b;
                 }

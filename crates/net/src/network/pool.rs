@@ -9,7 +9,9 @@
 //! never load the harness boxes at all; the harnesses themselves live
 //! in an [`autonet_harness::HarnessPool`] with the same dense ids.
 
-use autonet_core::{Autopilot, AutopilotParams};
+use std::sync::Arc;
+
+use autonet_core::{Autopilot, AutopilotParams, RouteCache};
 use autonet_harness::{HarnessPool, NodeHarness};
 use autonet_host::HostController;
 use autonet_sim::SimTime;
@@ -27,6 +29,9 @@ pub(super) struct SwitchPool {
     pub(super) cpu_free: Vec<SimTime>,
     /// Powered and running.
     pub(super) up: Vec<bool>,
+    /// Fleet-shared route cache handed to every Autopilot (including
+    /// reboots); `None` leaves each switch computing tables from scratch.
+    pub(super) route_cache: Option<Arc<RouteCache>>,
 }
 
 impl SwitchPool {
@@ -36,10 +41,12 @@ impl SwitchPool {
             table: Vec::new(),
             cpu_free: Vec::new(),
             up: Vec::new(),
+            route_cache: None,
         }
     }
 
     fn fresh_harness(
+        &self,
         uid: Uid,
         params: AutopilotParams,
         number_hint: u32,
@@ -47,6 +54,9 @@ impl SwitchPool {
     ) -> NodeHarness {
         let mut ap = Autopilot::new(uid, params, number_hint);
         ap.set_tracing(tracing);
+        if let Some(cache) = &self.route_cache {
+            ap.set_route_cache(Arc::clone(cache));
+        }
         NodeHarness::new(ap)
     }
 
@@ -59,9 +69,8 @@ impl SwitchPool {
         cpu_free: SimTime,
         tracing: bool,
     ) -> usize {
-        let s = self
-            .nodes
-            .push(Self::fresh_harness(uid, params, number_hint, tracing));
+        let h = self.fresh_harness(uid, params, number_hint, tracing);
+        let s = self.nodes.push(h);
         self.table.push(ForwardingTable::new());
         self.cpu_free.push(cpu_free);
         self.up.push(true);
@@ -78,8 +87,8 @@ impl SwitchPool {
         now: SimTime,
         tracing: bool,
     ) {
-        self.nodes
-            .reset(s, Self::fresh_harness(uid, params, s as u32, tracing));
+        let h = self.fresh_harness(uid, params, s as u32, tracing);
+        self.nodes.reset(s, h);
         self.table[s] = ForwardingTable::new();
         self.cpu_free[s] = now;
         self.up[s] = true;

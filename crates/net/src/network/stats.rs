@@ -156,6 +156,28 @@ impl Network {
                     ref_levels.get(&uid)
                 ));
             }
+            // The installed table must be what a from-scratch computation
+            // over the switch's own agreed topology produces — the
+            // end-to-end proof that the shared route cache (when on)
+            // changed no table byte.
+            let ap = w.switches.autopilot(si);
+            if ap.is_open() {
+                let hosts = ap.host_ports();
+                if let Some(scratch) = autonet_core::compute_forwarding_table(
+                    g,
+                    uid,
+                    &hosts,
+                    autonet_core::RouteKind::UpDown,
+                ) {
+                    let installed = w.switches.table[si].canonical_digest();
+                    if scratch.canonical_digest() != installed {
+                        return Err(format!(
+                            "switch {si}: installed table {installed:#x} != from-scratch {:#x}",
+                            scratch.canonical_digest()
+                        ));
+                    }
+                }
+            }
         }
         Ok(())
     }

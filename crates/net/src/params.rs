@@ -45,6 +45,17 @@ impl CpuModel {
         }
     }
 
+    /// The incremental-pipeline generation after `tuned()`: with table
+    /// recomputation deduplicated fleet-wide by the shared route cache,
+    /// the control processor's per-packet work shrinks again (§6.6.5's
+    /// progression continued one step).
+    pub fn incremental() -> Self {
+        CpuModel {
+            per_packet: SimDuration::from_micros(100),
+            per_byte: SimDuration::from_nanos(250),
+        }
+    }
+
     /// The processing cost of a control packet with `payload_len` bytes.
     pub fn cost(&self, payload_len: usize) -> SimDuration {
         self.per_packet + SimDuration::from_nanos(self.per_byte.as_nanos() * payload_len as u64)
@@ -82,6 +93,12 @@ pub struct NetParams {
     /// spine). On by default; benchmarks turn it off to measure the
     /// tracing-disabled fast path, which allocates no trace storage.
     pub tracing: bool,
+    /// Whether the world shares one [`autonet_core::RouteCache`] across
+    /// all switches, deduplicating per-epoch route analysis fleet-wide.
+    /// Behavior-neutral (cached tables are byte-identical to from-scratch
+    /// computation); off reproduces the every-switch-recomputes cost
+    /// model.
+    pub route_cache: bool,
 }
 
 impl NetParams {
@@ -98,6 +115,7 @@ impl NetParams {
             reflect_detect_delay: SimDuration::from_millis(40),
             control_loss_rate: 0.0,
             tracing: true,
+            route_cache: true,
         }
     }
 
@@ -138,6 +156,18 @@ impl NetParams {
             ..NetParams::tuned()
         }
     }
+
+    /// The incremental-pipeline configuration: tuned protocol plus the
+    /// shared route cache's freed CPU headroom reinvested in tighter
+    /// timers and a faster control processor (the generation after
+    /// `tuned()` in the §6.6.5 progression).
+    pub fn incremental() -> Self {
+        NetParams {
+            autopilot: AutopilotParams::incremental(),
+            cpu: CpuModel::incremental(),
+            ..NetParams::tuned()
+        }
+    }
 }
 
 impl Default for NetParams {
@@ -165,5 +195,6 @@ mod tests {
     fn presets_strictly_improve() {
         assert!(CpuModel::naive().cost(100) > CpuModel::optimized().cost(100));
         assert!(CpuModel::optimized().cost(100) > CpuModel::tuned().cost(100));
+        assert!(CpuModel::tuned().cost(100) > CpuModel::incremental().cost(100));
     }
 }

@@ -217,6 +217,57 @@ impl Timeline {
     pub fn last_critical_path(&self) -> Option<CriticalPath> {
         self.last_complete().and_then(CriticalPath::from_report)
     }
+
+    /// The critical path of the last *fault*, merging coalesced epochs.
+    ///
+    /// A single physical fault can span several epochs: the first epoch
+    /// carries the detection and close wave, then a second proposal
+    /// supersedes it mid-reconfiguration and carries the tree, address
+    /// and table phases to settlement. No single epoch then has all six
+    /// phases and [`last_critical_path`](Self::last_critical_path)
+    /// returns `None`, even though the fault's end-to-end path is fully
+    /// recorded.
+    ///
+    /// This method finds the last *settled* epoch (one with an `opened`
+    /// instant) and, while it is incomplete, folds in the detect/close
+    /// data of the superseded epochs immediately preceding it — those
+    /// without an `opened` of their own, i.e. the same fault burst. The
+    /// merged report spans first detection to final settlement; the walk
+    /// stops at any earlier settled epoch (a previous reconfiguration).
+    pub fn last_fault_critical_path(&self) -> Option<CriticalPath> {
+        let settled_idx = self.epochs.iter().rposition(|r| r.opened.is_some())?;
+        let settled = &self.epochs[settled_idx];
+        if settled.phases().is_some() {
+            return CriticalPath::from_report(settled);
+        }
+        let mut merged = settled.clone();
+        for r in self.epochs[..settled_idx].iter().rev() {
+            if r.opened.is_some() {
+                break;
+            }
+            if let Some(d) = r.detected {
+                if merged.detected.is_none_or(|m| d < m) {
+                    merged.detected = Some(d);
+                    merged.detected_node = r.detected_node;
+                }
+            }
+            if let Some(c) = r.closed {
+                if merged.closed.is_none_or(|m| c < m) {
+                    merged.closed = Some(c);
+                }
+            }
+            // Keep the *first* close per node across the burst.
+            for (&node, &t) in &r.closed_by_node {
+                merged
+                    .closed_by_node
+                    .entry(node)
+                    .and_modify(|e| *e = (*e).min(t))
+                    .or_insert(t);
+            }
+            merged.closes += r.closes;
+        }
+        CriticalPath::from_report(&merged)
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +326,109 @@ mod tests {
         // The dominant phase here is tree stabilization (20 → 30 is the
         // close-propagation cap; 12→20 close wave, 20→30 stabilize).
         assert_eq!(cp.dominant().duration(), SimDuration::from_nanos(10));
+    }
+
+    /// The coalesced-fault shape seen on fat-tree cuts: the first epoch
+    /// carries detect + the close wave, then is superseded; the second
+    /// epoch completes the reconfiguration but never logs a close (the
+    /// switches were already closed).
+    fn burst() -> (EpochReport, EpochReport) {
+        let mut early_closes = BTreeMap::new();
+        early_closes.insert(0, t(12));
+        early_closes.insert(1, t(20));
+        let early = EpochReport {
+            epoch: Epoch(3),
+            detected: Some(t(10)),
+            closed: Some(t(12)),
+            detected_node: Some(1),
+            closed_by_node: early_closes,
+            closes: 2,
+            ..EpochReport::default()
+        };
+        let mut late = report();
+        late.epoch = Epoch(4);
+        late.detected = Some(t(14));
+        late.detected_node = Some(0);
+        late.closed = None;
+        late.closed_by_node.clear();
+        late.closes = 0;
+        (early, late)
+    }
+
+    #[test]
+    fn coalesced_fault_merges_across_epochs() {
+        let (early, late) = burst();
+        let tl = Timeline {
+            records: Vec::new(),
+            epochs: vec![early, late],
+        };
+        // No single epoch is complete…
+        assert!(tl.last_critical_path().is_none());
+        // …but the fault's end-to-end path is recoverable.
+        let cp = tl.last_fault_critical_path().expect("burst merges");
+        assert_eq!(cp.epoch, Epoch(4), "attributed to the settled epoch");
+        // Spans first detection (t=10, node 1) to final settle (t=46).
+        assert_eq!(cp.segments.first().unwrap().start, t(10));
+        assert_eq!(cp.segments.first().unwrap().node, 1);
+        assert_eq!(cp.segments.last().unwrap().end, t(46));
+        assert_eq!(cp.total, SimDuration::from_nanos(36));
+        // The close wave comes from the superseded epoch's per-node map.
+        assert_eq!(cp.segments[1].phase, "close-propagation");
+        assert_eq!(cp.segments[1].node, 1, "straggler closed at t=20");
+        // Telescoping still holds on the merged report.
+        for w in cp.segments.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        assert_eq!(cp.attributed(), cp.total);
+    }
+
+    #[test]
+    fn complete_last_epoch_needs_no_merge() {
+        // When the last settled epoch already has all six phases, the
+        // burst walk is bypassed and both queries agree.
+        let tl = Timeline {
+            records: Vec::new(),
+            epochs: vec![report()],
+        };
+        assert_eq!(tl.last_fault_critical_path(), tl.last_critical_path());
+    }
+
+    #[test]
+    fn burst_walk_stops_at_a_previous_settled_epoch() {
+        let (early, late) = burst();
+        // A fully settled reconfiguration *before* the burst: its close
+        // data must not leak into the later fault's path.
+        let mut previous = report();
+        previous.epoch = Epoch(2);
+        previous.detected = Some(t(1));
+        previous.closed = Some(t(2));
+        previous.closed_by_node.values_mut().for_each(|v| *v = t(2));
+        let tl = Timeline {
+            records: Vec::new(),
+            epochs: vec![previous, early, late],
+        };
+        let cp = tl.last_fault_critical_path().expect("burst merges");
+        assert_eq!(cp.segments.first().unwrap().start, t(10));
+        assert_eq!(cp.total, SimDuration::from_nanos(36));
+    }
+
+    #[test]
+    fn unsettled_burst_has_no_path() {
+        // A burst whose final epoch never reopened: nothing settled, so
+        // there is no end-to-end path to report.
+        let (early, mut late) = burst();
+        late.opened = None;
+        let tl = Timeline {
+            records: Vec::new(),
+            epochs: vec![early.clone(), late],
+        };
+        assert!(tl.last_fault_critical_path().is_none());
+        // …and a burst that is *only* the early half likewise.
+        let tl = Timeline {
+            records: Vec::new(),
+            epochs: vec![early],
+        };
+        assert!(tl.last_fault_critical_path().is_none());
     }
 
     #[test]

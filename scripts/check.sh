@@ -29,15 +29,23 @@ cargo test --release -q --test harness_conformance -- --ignored
 
 echo "==> scale smoke + bench JSON schema"
 SCALE_SMOKE=1 cargo bench -q -p autonet-bench --bench exp_scale
-python3 scripts/check_bench_schema.py BENCH_scale_smoke.json BENCH_scale.json
+python3 scripts/check_bench_schema.py \
+    BENCH_scale_smoke.json BENCH_scale.json \
+    BENCH_reconfig.json BENCH_interruption.json
 
 # Opt-in: regenerate the machine-readable experiment results at the repo
-# root (BENCH_reconfig.json, BENCH_interruption.json). Off by default —
-# the bench crate sits outside default-members.
+# root (BENCH_reconfig.json, BENCH_interruption.json) and gate the fresh
+# E1 numbers against the committed baseline: the dominant critical-path
+# phase must not move and median reconfiguration time must not regress.
+# Off by default — the bench crate sits outside default-members.
 if [ "${AUTONET_BENCH_JSON:-0}" = "1" ]; then
     echo "==> bench JSON (E1 reconfig, E21 interruption)"
     cargo bench -q -p autonet-bench --bench exp_reconfig_time
     cargo bench -q -p autonet-bench --bench exp_interruption
+    python3 scripts/check_bench_schema.py \
+        BENCH_reconfig.json BENCH_interruption.json
+    echo "==> reconfig critical-path gate"
+    python3 scripts/check_reconfig_gate.py BENCH_reconfig.json
 fi
 
 echo "OK"

@@ -46,6 +46,78 @@ def check_scale(path, doc):
                 fail(path, f"{row['topology']}: {key} must be positive")
 
 
+# The six stable phase tags of autonet-trace's critical path.
+PHASES = {
+    "detect",
+    "close-propagation",
+    "tree-stabilize",
+    "address-assign",
+    "table-distribute",
+    "reopen",
+}
+
+
+def check_reconfig(path, doc):
+    rows = require(path, doc, "presets", list)
+    if not rows:
+        fail(path, "no preset rows")
+    for row in rows:
+        preset = require(path, row, "preset", str)
+        require(path, row, "topology", str)
+        if require(path, row, "faults", int) <= 0:
+            fail(path, f"{preset}: faults must be positive")
+        for key in ("median_reconfig_ms", "median_detection_ms", "median_total_ms"):
+            if require(path, row, key, (int, float)) <= 0:
+                fail(path, f"{preset}: {key} must be positive")
+        if require(path, row, "wall_ms", (int, float)) <= 0:
+            fail(path, f"{preset}: wall_ms must be positive")
+        # Tracing-off rows carry null critical-path fields; traced rows
+        # must name a known phase and a positive distribute time.
+        phase = require(path, row, "dominant_phase", (str, type(None)))
+        if phase is not None and phase not in PHASES:
+            fail(path, f"{preset}: unknown dominant_phase {phase!r}")
+        dist = require(path, row, "median_table_distribute_ms", (int, float, type(None)))
+        if dist is not None and dist < 0:
+            fail(path, f"{preset}: median_table_distribute_ms must be >= 0")
+        # Cache-off rows carry null; cache-on rows report the counters.
+        cache = require(path, row, "route_cache", (dict, type(None)))
+        if cache is not None:
+            for key in ("builds", "served_memo", "delta_reused", "synthesized"):
+                if require(path, cache, key, int) < 0:
+                    fail(path, f"{preset}: route_cache.{key} must be >= 0")
+            if cache["builds"] <= 0:
+                fail(path, f"{preset}: route_cache on but zero builds")
+
+
+def check_interruption(path, doc):
+    if require(path, doc, "probe_interval_ms", (int, float)) <= 0:
+        fail(path, "probe_interval_ms must be positive")
+    rows = require(path, doc, "topologies", list)
+    if not rows:
+        fail(path, "no topology rows")
+    for row in rows:
+        topo = require(path, row, "topology", str)
+        pairs = require(path, row, "pairs", int)
+        affected = require(path, row, "affected_pairs", int)
+        if pairs <= 0:
+            fail(path, f"{topo}: pairs must be positive")
+        if not 0 <= affected <= pairs:
+            fail(path, f"{topo}: affected_pairs outside [0, pairs]")
+        for key in (
+            "median_blackout_ms",
+            "max_blackout_ms",
+            "p90_blackout_ms",
+            "critical_path_ms",
+        ):
+            if require(path, row, key, (int, float)) <= 0:
+                fail(path, f"{topo}: {key} must be positive")
+        if row["median_blackout_ms"] > row["max_blackout_ms"]:
+            fail(path, f"{topo}: median blackout exceeds max")
+        cov = require(path, row, "critical_path_coverage", (int, float))
+        if not 0.0 <= cov <= 1.0 + 1e-9:
+            fail(path, f"{topo}: coverage outside [0, 1]")
+
+
 def check_generic(path, doc):
     # Every bench artifact names its experiment; beyond that the bodies
     # are experiment-specific.
@@ -65,6 +137,10 @@ def main(argv):
         experiment = require(path, doc, "experiment", str)
         if experiment == "scale":
             check_scale(path, doc)
+        elif experiment == "reconfig_time":
+            check_reconfig(path, doc)
+        elif experiment == "interruption":
+            check_interruption(path, doc)
         else:
             check_generic(path, doc)
         print(f"schema OK: {path} ({experiment})")

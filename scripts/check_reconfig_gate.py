@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Critical-path regression gate for E1 (BENCH_reconfig.json).
+
+Compares a freshly generated BENCH_reconfig.json against the committed
+baseline (``git show HEAD:BENCH_reconfig.json``), per (preset, topology)
+row:
+
+* the dominant critical-path phase must not change — a phase flip means
+  the reconfiguration pipeline's bottleneck moved, which is a design
+  change that must be made deliberately, not discovered in CI;
+* median reconfiguration time must not regress by more than the
+  tolerance (simulated time is deterministic, so any drift is a real
+  behavior change — the tolerance only absorbs intentional re-baselines
+  of nearby presets);
+* the ``incremental`` preset must stay strictly faster than ``tuned``
+  on the same topology — the acceptance criterion of the incremental
+  pipeline.
+
+Rows present only on one side are skipped (new presets land with their
+first baseline; removed presets vanish with it).
+
+Usage: check_reconfig_gate.py FRESH [--baseline FILE] [--tolerance PCT]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+TOLERANCE_PCT = 10.0
+
+
+def fail(msg):
+    print(f"reconfig gate FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def rows_by_key(doc):
+    out = {}
+    for row in doc.get("presets", []):
+        out[(row.get("preset"), row.get("topology"))] = row
+    return out
+
+
+def load_baseline(path):
+    if path is not None:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    proc = subprocess.run(
+        ["git", "show", "HEAD:BENCH_reconfig.json"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        # No committed baseline yet: nothing to gate against.
+        return None
+    return json.loads(proc.stdout)
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("fresh", help="freshly generated BENCH_reconfig.json")
+    ap.add_argument("--baseline", help="baseline file (default: HEAD's copy)")
+    ap.add_argument("--tolerance", type=float, default=TOLERANCE_PCT)
+    args = ap.parse_args(argv[1:])
+
+    with open(args.fresh, encoding="utf-8") as f:
+        fresh = json.load(f)
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print("reconfig gate: no committed baseline, skipping comparison")
+        return 0
+
+    fresh_rows = rows_by_key(fresh)
+    base_rows = rows_by_key(baseline)
+    compared = 0
+    for key, new in sorted(fresh_rows.items(), key=str):
+        old = base_rows.get(key)
+        if old is None:
+            print(f"reconfig gate: new row {key}, no baseline — skipped")
+            continue
+        preset, topo = key
+        compared += 1
+        old_phase = old.get("dominant_phase")
+        new_phase = new.get("dominant_phase")
+        if old_phase is not None and new_phase != old_phase:
+            fail(
+                f"{preset} ({topo}): dominant phase moved "
+                f"{old_phase!r} -> {new_phase!r}"
+            )
+        old_ms = old.get("median_reconfig_ms")
+        new_ms = new.get("median_reconfig_ms")
+        if isinstance(old_ms, (int, float)) and isinstance(new_ms, (int, float)):
+            limit = old_ms * (1.0 + args.tolerance / 100.0)
+            if new_ms > limit:
+                fail(
+                    f"{preset} ({topo}): median reconfig {new_ms:.3f} ms "
+                    f"regressed past {old_ms:.3f} ms (+{args.tolerance:.0f}%)"
+                )
+    if compared == 0:
+        fail("no comparable rows between fresh and baseline")
+
+    # The incremental pipeline must keep paying for itself.
+    for (preset, topo), row in fresh_rows.items():
+        if preset != "incremental":
+            continue
+        tuned = fresh_rows.get(("tuned", topo))
+        if tuned is None:
+            continue
+        inc_ms = row.get("median_reconfig_ms")
+        tuned_ms = tuned.get("median_reconfig_ms")
+        if not inc_ms < tuned_ms:
+            fail(
+                f"incremental ({topo}): {inc_ms:.3f} ms does not beat "
+                f"tuned's {tuned_ms:.3f} ms"
+            )
+
+    print(f"reconfig gate OK: {compared} rows within {args.tolerance:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -513,3 +513,112 @@ fn reference_tree_levels_are_bfs_distances() {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The shared route cache is byte-for-byte equivalent to from-scratch
+    /// table computation (`ForwardingTable::canonical_digest`) on random
+    /// connected topologies, for every switch and arbitrary live host
+    /// ports.
+    #[test]
+    fn route_cache_matches_scratch_on_random_topologies(
+        n in 2usize..20,
+        extra in 0usize..10,
+        seed in 1u64..10_000,
+        host_lo in 1u8..11,
+        host_hi in 1u8..11,
+    ) {
+        use autonet::autopilot::{compute_forwarding_table, RouteCache};
+        let topo = gen::random_connected(n, extra, seed);
+        let global = global_from_view_simple(&topo.view_all()).unwrap();
+        let hosts: Vec<u8> = if host_lo <= host_hi {
+            vec![host_lo, host_hi]
+        } else {
+            vec![host_hi]
+        };
+        let cache = RouteCache::new();
+        for s in global.switches.iter() {
+            let scratch =
+                compute_forwarding_table(&global, s.uid, &hosts, RouteKind::UpDown);
+            let cached = cache.table_for(&global, s.uid, &hosts);
+            match (scratch, cached) {
+                (Some(a), Some(b)) => prop_assert_eq!(
+                    a.canonical_digest(),
+                    b.canonical_digest(),
+                    "switch {:?} diverged",
+                    s.uid
+                ),
+                (None, None) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "switch {:?}: scratch={} cached={}",
+                    s.uid,
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+        prop_assert_eq!(cache.stats().builds, 1);
+    }
+
+    /// Equivalence holds across multi-fault sequences served through ONE
+    /// cache — the generation rotation, promotion of healed shapes, and
+    /// delta-reuse paths must all reproduce the from-scratch tables
+    /// exactly, epoch after epoch.
+    #[test]
+    fn route_cache_matches_scratch_across_fault_sequences(
+        n in 4usize..14,
+        extra in 2usize..10,
+        seed in 1u64..10_000,
+        cuts in proptest::collection::vec(0usize..40, 1..5),
+        heal_first in 0u8..2,
+    ) {
+        use autonet::autopilot::{compute_forwarding_table, global_from_view, RouteCache};
+        use autonet::topo::LinkId;
+        let topo = gen::random_connected(n, extra, seed);
+        let mut view = topo.view_all();
+        let cache = RouteCache::new();
+        let nlinks = topo.num_links();
+        let mut epoch = 1u64;
+        let check_epoch = |view: &autonet::topo::NetView<'_>, epoch: u64| {
+            let Some(global) = global_from_view(view, Epoch(epoch), &BTreeMap::new()) else {
+                return Ok(());
+            };
+            for s in global.switches.iter() {
+                let scratch =
+                    compute_forwarding_table(&global, s.uid, &[], RouteKind::UpDown)
+                        .map(|t| t.canonical_digest());
+                let cached = cache
+                    .table_for(&global, s.uid, &[])
+                    .map(|t| t.canonical_digest());
+                prop_assert_eq!(scratch, cached, "epoch {} switch {:?}", epoch, s.uid);
+            }
+            Ok(())
+        };
+        check_epoch(&view, epoch)?;
+        let mut failed: Vec<LinkId> = Vec::new();
+        for cut in cuts {
+            let lid = LinkId(cut % nlinks);
+            epoch += 1;
+            if failed.contains(&lid) {
+                view.repair_link(lid);
+                failed.retain(|&l| l != lid);
+            } else {
+                view.fail_link(lid);
+                failed.push(lid);
+            }
+            check_epoch(&view, epoch)?;
+        }
+        // Heal everything (possibly revisiting shapes the cache has
+        // retired) and check once more.
+        if heal_first == 1 {
+            failed.reverse();
+        }
+        for lid in failed {
+            view.repair_link(lid);
+            epoch += 1;
+            check_epoch(&view, epoch)?;
+        }
+    }
+}
