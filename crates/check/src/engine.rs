@@ -14,7 +14,9 @@ use autonet_core::AutopilotParams;
 use autonet_net::{NetParams, Network};
 use autonet_sim::{SimDuration, SimTime};
 use autonet_topo::{HostId, LinkId, NetView, SwitchId, Topology};
-use autonet_trace::{InterruptionConfig, InterruptionReport, Timeline, TraceRecord};
+use autonet_trace::{
+    CriticalPath, DamageReport, InterruptionConfig, InterruptionReport, Timeline, TraceRecord,
+};
 
 use crate::oracle::{check_blackouts, OracleConfig, OracleState, Violation};
 use crate::scenario::{FaultOp, Scenario};
@@ -27,12 +29,25 @@ pub struct CheckOutcome {
     pub violation: Option<Violation>,
     /// Virtual time when the run ended.
     pub end: SimTime,
+    /// Virtual time of first quiescence — the instant scenario event
+    /// offsets (`at_ms`) are measured from. Cross-backend comparisons
+    /// align on `origin + at_ms`. Equal to `end` if the run died during
+    /// bring-up.
+    pub origin: SimTime,
     /// How many quiescence points were reached (initial bring-up,
     /// waypoints, final settle).
     pub quiescences: u32,
     /// The service-interruption ledger, when probes ran (blackout
     /// checking on and the topology has at least two hosts).
     pub interruption: Option<InterruptionReport>,
+    /// The damage objectives of the run (soft objectives the worst-case
+    /// search maximizes; total over any run — zero axes when their
+    /// inputs never occurred).
+    pub damage: DamageReport,
+    /// The end-to-end critical path of the last fault burst, when one
+    /// settled — names the nodes the worst run's latency waited on,
+    /// which the worst-case search biases its mutations toward.
+    pub critical: Option<CriticalPath>,
 }
 
 impl CheckOutcome {
@@ -145,9 +160,16 @@ pub fn run_scenario<S: Substrate>(
         })
     }
 
-    let interruption = |sub: &S, spine: &[TraceRecord]| {
-        probing.then(|| {
-            let timeline = Timeline::build(spine);
+    // Assembles the outcome from whatever the run produced so far: the
+    // timeline is rebuilt once and feeds the interruption ledger, the
+    // damage objectives, and the critical path alike.
+    let outcome = |violation: Option<Violation>,
+                   sub: &S,
+                   quiescences: u32,
+                   spine: &[TraceRecord],
+                   origin: SimTime| {
+        let timeline = Timeline::build(spine);
+        let interruption = probing.then(|| {
             InterruptionReport::build(
                 &sub.probe_pairs(),
                 &sub.probe_records(),
@@ -158,17 +180,19 @@ pub fn run_scenario<S: Substrate>(
                     min_run: 2,
                 },
             )
-        })
+        });
+        let damage = DamageReport::measure(interruption.as_ref(), &timeline, sub.now());
+        let critical = timeline.last_fault_critical_path();
+        CheckOutcome {
+            violation,
+            end: sub.now(),
+            origin,
+            quiescences,
+            interruption,
+            damage,
+            critical,
+        }
     };
-    let outcome =
-        |violation: Option<Violation>, sub: &S, quiescences: u32, spine: &[TraceRecord]| {
-            CheckOutcome {
-                violation,
-                end: sub.now(),
-                quiescences,
-                interruption: interruption(sub, spine),
-            }
-        };
 
     // Initial bring-up to first quiescence; the skeptic oracle arms here.
     if let Err(v) = settle(
@@ -180,12 +204,14 @@ pub fn run_scenario<S: Substrate>(
         cfg.bringup_budget_ms,
         step,
     ) {
-        return outcome(Some(v), sub, quiescences, &spine);
+        let origin = sub.now();
+        return outcome(Some(v), sub, quiescences, &spine, origin);
     }
     quiescences += 1;
     let snaps = sub.snapshots(topo);
     if let Some(v) = oracle.at_quiescence(sub.now(), &view, &snaps) {
-        return outcome(Some(v), sub, quiescences, &spine);
+        let origin = sub.now();
+        return outcome(Some(v), sub, quiescences, &spine, origin);
     }
     if probing {
         // Probe a ring over the hosts: every host both sends and
@@ -203,17 +229,17 @@ pub fn run_scenario<S: Substrate>(
         let due = origin + SimDuration::from_millis(event.at_ms);
         if due > sub.now() {
             if let Some(v) = advance(sub, topo, &mut oracle, &mut spine, due - sub.now(), step) {
-                return outcome(Some(v), sub, quiescences, &spine);
+                return outcome(Some(v), sub, quiescences, &spine, origin);
             }
         }
         if let FaultOp::Waypoint { settle_ms } = event.op {
             match settle(sub, topo, &mut oracle, &mut spine, &view, settle_ms, step) {
-                Err(v) => return outcome(Some(v), sub, quiescences, &spine),
+                Err(v) => return outcome(Some(v), sub, quiescences, &spine, origin),
                 Ok(()) => {
                     quiescences += 1;
                     let snaps = sub.snapshots(topo);
                     if let Some(v) = oracle.at_quiescence(sub.now(), &view, &snaps) {
-                        return outcome(Some(v), sub, quiescences, &spine);
+                        return outcome(Some(v), sub, quiescences, &spine, origin);
                     }
                 }
             }
@@ -237,12 +263,12 @@ pub fn run_scenario<S: Substrate>(
         scenario.settle_ms,
         step,
     ) {
-        Err(v) => return outcome(Some(v), sub, quiescences, &spine),
+        Err(v) => return outcome(Some(v), sub, quiescences, &spine, origin),
         Ok(()) => {
             quiescences += 1;
             let snaps = sub.snapshots(topo);
             if let Some(v) = oracle.at_quiescence(sub.now(), &view, &snaps) {
-                return outcome(Some(v), sub, quiescences, &spine);
+                return outcome(Some(v), sub, quiescences, &spine, origin);
             }
         }
     }
@@ -253,20 +279,16 @@ pub fn run_scenario<S: Substrate>(
             sub,
             quiescences,
             &spine,
+            origin,
         );
     }
     // Every oracle stayed silent; the blackout ledger gets the last word.
-    let report = interruption(sub, &spine);
-    let violation = report.as_ref().and_then(|r| {
+    let mut done = outcome(None, sub, quiescences, &spine, origin);
+    if let Some(report) = done.interruption.as_ref() {
         let timeline = Timeline::build(&spine);
-        check_blackouts(r, &timeline, &exempt, cfg.blackout_slack, sub.now())
-    });
-    CheckOutcome {
-        violation,
-        end: sub.now(),
-        quiescences,
-        interruption: report,
+        done.violation = check_blackouts(report, &timeline, &exempt, cfg.blackout_slack, sub.now());
     }
+    done
 }
 
 /// Runs a scenario on the packet-level backend.

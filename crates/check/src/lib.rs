@@ -26,18 +26,24 @@
 //! corpus next to the fix.
 
 mod engine;
+mod objective;
 mod oracle;
 mod scenario;
 mod shrink;
 mod substrate;
 mod tables;
+mod worst_case;
 
 pub use engine::{run_packet, run_scenario, run_slot, CheckOutcome};
+pub use objective::{DamageVector, ParetoFront};
 pub use oracle::{check_blackouts, OracleConfig, OracleState, Violation};
-pub use scenario::{random_scenario, FaultEvent, FaultOp, Scenario, TopoSpec};
+pub use scenario::{
+    random_scenario, random_scenario_with, FaultEvent, FaultOp, GenOptions, Scenario, TopoSpec,
+};
 pub use shrink::{packet_reproducer, shrink_schedule, Reproducer};
 pub use substrate::{NodeSnapshot, PacketSubstrate, PortObservation, SlotSubstrate, Substrate};
 pub use tables::find_table_cycle;
+pub use worst_case::{worst_case_search, WorstCaseConfig, WorstCaseResult};
 
 use autonet_core::AutopilotParams;
 use autonet_sim::SimDuration;

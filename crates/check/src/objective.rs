@@ -1,0 +1,178 @@
+//! Soft damage objectives and the Pareto archive of the worst-case
+//! search.
+//!
+//! The hard oracles answer "was an invariant violated?"; the worst-case
+//! search (`crate::worst_case`) instead *maximizes* graded damage. This
+//! module gives that search its objective space: [`DamageVector`], a
+//! point extracted from a run's [`DamageReport`](autonet_trace::DamageReport)
+//! with a total dominance order per axis, and [`ParetoFront`], the
+//! archive of mutually non-dominated candidates the search breeds from.
+//!
+//! Keeping a *front* instead of a single best matters because the axes
+//! trade off: a clean bisection maximizes affected pairs but settles
+//! fast, while a flapping cable near the root maximizes skeptic hold
+//! with few pairs darkened. Mutating from every non-dominated corner
+//! keeps the search from collapsing into one damage mode.
+
+use autonet_sim::SimDuration;
+use autonet_trace::DamageReport;
+
+use crate::engine::CheckOutcome;
+
+/// A point in damage-objective space; every axis is monotone in
+/// "worse for the network".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DamageVector {
+    /// Sum of all pairs' blackout-window durations.
+    pub blackout: SimDuration,
+    /// Number of probed pairs with at least one blackout window.
+    pub affected_pairs: usize,
+    /// Total trunk-port dead-episode (skeptic quarantine) time.
+    pub skeptic_hold: SimDuration,
+    /// Total time spent in epochs that settled unroutable.
+    pub unroutable: SimDuration,
+}
+
+impl DamageVector {
+    /// Extracts the objective point of a finished run.
+    pub fn of(outcome: &CheckOutcome) -> DamageVector {
+        DamageVector::from(&outcome.damage)
+    }
+
+    /// Pareto dominance: at least as bad on every axis and strictly
+    /// worse on one.
+    pub fn dominates(&self, other: &DamageVector) -> bool {
+        let ge = self.blackout >= other.blackout
+            && self.affected_pairs >= other.affected_pairs
+            && self.skeptic_hold >= other.skeptic_hold
+            && self.unroutable >= other.unroutable;
+        ge && self != other
+    }
+
+    /// The total order used to crown a champion out of the front:
+    /// blackout first (the headline objective the goldens pin), then
+    /// blast radius, then the quarantine and unroutable axes.
+    pub fn rank(&self) -> (SimDuration, usize, SimDuration, SimDuration) {
+        (
+            self.blackout,
+            self.affected_pairs,
+            self.skeptic_hold,
+            self.unroutable,
+        )
+    }
+}
+
+impl From<&DamageReport> for DamageVector {
+    fn from(d: &DamageReport) -> DamageVector {
+        DamageVector {
+            blackout: d.blackout_total,
+            affected_pairs: d.affected_pairs,
+            skeptic_hold: d.skeptic_hold,
+            unroutable: d.unroutable_window,
+        }
+    }
+}
+
+impl std::fmt::Display for DamageVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "blackout {} / {} pairs / hold {} / unroutable {}",
+            self.blackout, self.affected_pairs, self.skeptic_hold, self.unroutable
+        )
+    }
+}
+
+/// The archive of mutually non-dominated candidates.
+#[derive(Clone, Debug, Default)]
+pub struct ParetoFront<T> {
+    entries: Vec<(DamageVector, T)>,
+}
+
+impl<T> ParetoFront<T> {
+    /// An empty front.
+    pub fn new() -> Self {
+        ParetoFront {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Offers a candidate: rejected if some archived point dominates it
+    /// (or duplicates its objective), otherwise inserted, evicting every
+    /// point it dominates. Returns whether it was admitted.
+    pub fn offer(&mut self, v: DamageVector, item: T) -> bool {
+        if self
+            .entries
+            .iter()
+            .any(|(have, _)| have.dominates(&v) || *have == v)
+        {
+            return false;
+        }
+        self.entries.retain(|(have, _)| !v.dominates(have));
+        self.entries.push((v, item));
+        true
+    }
+
+    /// The archived candidates.
+    pub fn entries(&self) -> &[(DamageVector, T)] {
+        &self.entries
+    }
+
+    /// Number of archived candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the front is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The champion: the entry maximal under [`DamageVector::rank`].
+    pub fn champion(&self) -> Option<&(DamageVector, T)> {
+        self.entries.iter().max_by_key(|(v, _)| v.rank())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(blackout_ms: u64, pairs: usize, hold_ms: u64, unroutable_ms: u64) -> DamageVector {
+        DamageVector {
+            blackout: SimDuration::from_millis(blackout_ms),
+            affected_pairs: pairs,
+            skeptic_hold: SimDuration::from_millis(hold_ms),
+            unroutable: SimDuration::from_millis(unroutable_ms),
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_partial() {
+        assert!(v(10, 2, 0, 0).dominates(&v(5, 2, 0, 0)));
+        assert!(!v(10, 2, 0, 0).dominates(&v(10, 2, 0, 0))); // equal
+                                                             // Trade-off: neither dominates.
+        assert!(!v(10, 1, 0, 0).dominates(&v(5, 3, 0, 0)));
+        assert!(!v(5, 3, 0, 0).dominates(&v(10, 1, 0, 0)));
+    }
+
+    #[test]
+    fn front_keeps_only_non_dominated() {
+        let mut front = ParetoFront::new();
+        assert!(front.offer(v(5, 1, 0, 0), "a"));
+        assert!(front.offer(v(3, 4, 0, 0), "b")); // trade-off, kept
+        assert!(!front.offer(v(2, 1, 0, 0), "c")); // dominated by a
+        assert!(!front.offer(v(5, 1, 0, 0), "dup")); // duplicate point
+        assert!(front.offer(v(6, 4, 0, 0), "d")); // dominates both
+        assert_eq!(front.len(), 1);
+        assert_eq!(front.champion().unwrap().1, "d");
+    }
+
+    #[test]
+    fn champion_ranks_blackout_first() {
+        let mut front = ParetoFront::new();
+        front.offer(v(5, 9, 9, 9), "wide");
+        front.offer(v(6, 1, 0, 0), "dark");
+        assert_eq!(front.champion().unwrap().1, "dark");
+    }
+}

@@ -33,6 +33,18 @@ pub enum TopoSpec {
         per_switch: usize,
         seed: u64,
     },
+    /// `gen::src_network(seed)`: the paper's 30-switch SRC fabric.
+    Src { seed: u64 },
+    /// `gen::fat_tree(&arities, seed)`.
+    FatTree { arities: Vec<usize>, seed: u64 },
+    /// Any base spec plus `per_switch` dual-homed hosts on every switch
+    /// (`gen::add_dual_homed_hosts`) — lifts the trunk-only recipes into
+    /// the hosted corpus the blackout objectives are measured over.
+    Hosted {
+        base: Box<TopoSpec>,
+        per_switch: usize,
+        seed: u64,
+    },
 }
 
 impl TopoSpec {
@@ -51,6 +63,17 @@ impl TopoSpec {
             } => {
                 let mut topo = gen::random_connected(n, extra, seed);
                 gen::add_dual_homed_hosts(&mut topo, per_switch, seed ^ 0x4057);
+                topo
+            }
+            TopoSpec::Src { seed } => gen::src_network(seed),
+            TopoSpec::FatTree { ref arities, seed } => gen::fat_tree(arities, seed),
+            TopoSpec::Hosted {
+                ref base,
+                per_switch,
+                seed,
+            } => {
+                let mut topo = base.build();
+                gen::add_dual_homed_hosts(&mut topo, per_switch, seed);
                 topo
             }
         }
@@ -74,6 +97,18 @@ impl TopoSpec {
                 seed,
             } => format!(
                 "TopoSpec::RandomConnectedHosts {{ n: {n}, extra: {extra}, per_switch: {per_switch}, seed: {seed} }}"
+            ),
+            TopoSpec::Src { seed } => format!("TopoSpec::Src {{ seed: {seed} }}"),
+            TopoSpec::FatTree { ref arities, seed } => {
+                format!("TopoSpec::FatTree {{ arities: vec!{arities:?}, seed: {seed} }}")
+            }
+            TopoSpec::Hosted {
+                ref base,
+                per_switch,
+                seed,
+            } => format!(
+                "TopoSpec::Hosted {{ base: Box::new({}), per_switch: {per_switch}, seed: {seed} }}",
+                base.to_code()
             ),
         }
     }
@@ -179,22 +214,52 @@ impl Scenario {
                 )
             })
             .collect();
+        let events = if events.is_empty() {
+            "vec![]".to_string()
+        } else {
+            format!(
+                "vec![\n            {},\n        ]",
+                events.join(",\n            ")
+            )
+        };
         format!(
-            "Scenario {{\n        name: {:?}.into(),\n        topo: {},\n        seed: {},\n        events: vec![\n            {},\n        ],\n        settle_ms: {},\n    }}",
+            "Scenario {{\n        name: {:?}.into(),\n        topo: {},\n        seed: {},\n        events: {},\n        settle_ms: {},\n    }}",
             self.name,
             self.topo.to_code(),
             self.seed,
-            events.join(",\n            "),
+            events,
             self.settle_ms,
         )
     }
 }
 
+/// Knobs for [`random_scenario_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GenOptions {
+    /// Percent chance (0–100) that an event lands in the *same slot* as
+    /// its predecessor (`at_ms` identical: a simultaneous fault). The
+    /// default generator spaces every event 30–430 ms apart, which means
+    /// random campaigns never exercise back-to-back faults — the exact
+    /// schedules an adversary prefers. `0` reproduces the classic
+    /// timing-spaced stream bit-for-bit.
+    pub same_slot_pct: u64,
+}
+
 /// Generates a random but well-formed campaign: a connected topology and
 /// `n_events` fault events that respect basic sanity (no repairing an up
 /// link, at most half the switches down at once, flap windows that do not
-/// overlap later events). Deterministic in `seed`.
+/// overlap later events). Deterministic in `seed`. Identical to
+/// [`random_scenario_with`] at the default options.
 pub fn random_scenario(seed: u64, n_events: usize) -> Scenario {
+    random_scenario_with(seed, n_events, GenOptions::default())
+}
+
+/// [`random_scenario`] with knobs. With a nonzero
+/// [`same_slot_pct`](GenOptions::same_slot_pct) the schedule can contain
+/// back-to-back events at the same millisecond — simultaneous faults,
+/// which both the worst-case search's mutation space and its random
+/// baseline must cover.
+pub fn random_scenario_with(seed: u64, n_events: usize, opts: GenOptions) -> Scenario {
     let n_switches = 6 + (seed % 7) as usize;
     let extra = (seed % 5) as usize;
     let topo_seed = seed.wrapping_mul(31);
@@ -209,9 +274,15 @@ pub fn random_scenario(seed: u64, n_events: usize) -> Scenario {
     let mut link_up = vec![true; n_links];
     let mut switch_up = vec![true; n_switches];
     let mut t_ms: u64 = 0;
-    let mut events = Vec::new();
+    let mut events: Vec<FaultEvent> = Vec::new();
     for _ in 0..n_events {
-        t_ms += 30 + rng.below(400);
+        // The same-slot draw happens only when the option is live, so the
+        // default stream is bit-identical to the pre-option generator.
+        let same_slot =
+            opts.same_slot_pct > 0 && !events.is_empty() && rng.below(100) < opts.same_slot_pct;
+        if !same_slot {
+            t_ms += 30 + rng.below(400);
+        }
         let down_switches = switch_up.iter().filter(|u| !**u).count();
         let op = match rng.below(10) {
             0..=3 => {
@@ -270,8 +341,13 @@ pub fn random_scenario(seed: u64, n_events: usize) -> Scenario {
         // backends, so anything above is safe to schedule as-is.
         events.push(FaultEvent { at_ms: t_ms, op });
     }
+    let name = if opts.same_slot_pct > 0 {
+        format!("random-{seed}-{n_events}-ss{}", opts.same_slot_pct)
+    } else {
+        format!("random-{seed}-{n_events}")
+    };
     Scenario {
-        name: format!("random-{seed}-{n_events}"),
+        name,
         topo,
         seed,
         events,
@@ -294,6 +370,55 @@ mod tests {
         let code = a.to_code();
         assert!(code.contains("TopoSpec::RandomConnected"));
         assert_eq!(code.matches("FaultEvent").count(), a.events.len());
+    }
+
+    #[test]
+    fn default_options_reproduce_the_classic_stream() {
+        for seed in [1, 7, 42] {
+            assert_eq!(
+                random_scenario(seed, 8),
+                random_scenario_with(seed, 8, GenOptions::default()),
+            );
+        }
+    }
+
+    #[test]
+    fn same_slot_option_emits_simultaneous_events() {
+        let s = random_scenario_with(11, 12, GenOptions { same_slot_pct: 100 });
+        // Every event after the first shares its predecessor's slot
+        // unless the predecessor was a flap (the cursor skips its
+        // window); with pct=100 at least one same-slot pair must occur.
+        let same_slots = s
+            .events
+            .windows(2)
+            .filter(|w| w[0].at_ms == w[1].at_ms)
+            .count();
+        assert!(same_slots >= 1, "no simultaneous events in {:#?}", s.events);
+        // And a moderate probability is deterministic in the seed.
+        let a = random_scenario_with(3, 10, GenOptions { same_slot_pct: 40 });
+        let b = random_scenario_with(3, 10, GenOptions { same_slot_pct: 40 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hosted_and_named_topo_specs_build_and_roundtrip() {
+        let spec = TopoSpec::Hosted {
+            base: Box::new(TopoSpec::Src { seed: 1991 }),
+            per_switch: 1,
+            seed: 7,
+        };
+        let t = spec.build();
+        assert_eq!(t.num_switches(), 30);
+        assert_eq!(t.num_hosts(), 30);
+        let code = spec.to_code();
+        assert!(code.contains("TopoSpec::Hosted"));
+        assert!(code.contains("TopoSpec::Src { seed: 1991 }"));
+        let ft = TopoSpec::FatTree {
+            arities: vec![4, 2, 2],
+            seed: 3,
+        };
+        assert!(ft.build().num_switches() > 0);
+        assert!(ft.to_code().contains("vec![4, 2, 2]"));
     }
 
     #[test]

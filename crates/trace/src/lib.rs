@@ -29,6 +29,7 @@ mod critical;
 mod interruption;
 mod jsonl;
 mod metrics;
+mod objective;
 mod timeline;
 
 use autonet_core::Event;
@@ -38,6 +39,7 @@ pub use critical::{CriticalPath, Segment};
 pub use interruption::{BlackoutWindow, InterruptionConfig, InterruptionReport, PairReport};
 pub use jsonl::to_jsonl;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use objective::DamageReport;
 pub use timeline::{EpochReport, Timeline};
 
 /// One spine entry: a typed event, attributed to a node, timestamped.

@@ -27,10 +27,16 @@ echo "==> scale tier (release)"
 cargo test --release -q --test scale -- --ignored
 cargo test --release -q --test harness_conformance -- --ignored
 
+echo "==> worst-case tier (release)"
+cargo test --release -q --test worst_case -- --ignored
+cargo test --release -q --test worst_case_goldens -- --include-ignored
+
 echo "==> scale smoke + bench JSON schema"
 SCALE_SMOKE=1 cargo bench -q -p autonet-bench --bench exp_scale
+WORST_CASE_SMOKE=1 cargo bench -q -p autonet-bench --bench exp_worst_case
 python3 scripts/check_bench_schema.py \
     BENCH_scale_smoke.json BENCH_scale.json \
+    BENCH_worst_case_smoke.json \
     BENCH_reconfig.json BENCH_interruption.json
 
 # Opt-in: regenerate the machine-readable experiment results at the repo
@@ -39,11 +45,12 @@ python3 scripts/check_bench_schema.py \
 # phase must not move and median reconfiguration time must not regress.
 # Off by default — the bench crate sits outside default-members.
 if [ "${AUTONET_BENCH_JSON:-0}" = "1" ]; then
-    echo "==> bench JSON (E1 reconfig, E21 interruption)"
+    echo "==> bench JSON (E1 reconfig, E21 interruption, E24 worst case)"
     cargo bench -q -p autonet-bench --bench exp_reconfig_time
     cargo bench -q -p autonet-bench --bench exp_interruption
+    cargo bench -q -p autonet-bench --bench exp_worst_case
     python3 scripts/check_bench_schema.py \
-        BENCH_reconfig.json BENCH_interruption.json
+        BENCH_reconfig.json BENCH_interruption.json BENCH_worst_case.json
     echo "==> reconfig critical-path gate"
     python3 scripts/check_reconfig_gate.py BENCH_reconfig.json
 fi

@@ -118,6 +118,34 @@ def check_interruption(path, doc):
             fail(path, f"{topo}: coverage outside [0, 1]")
 
 
+def check_worst_case(path, doc):
+    require(path, doc, "seed", int)
+    require(path, doc, "smoke", bool)
+    rows = require(path, doc, "topologies", list)
+    if not rows:
+        fail(path, "no topology rows")
+    for row in rows:
+        topo = require(path, row, "topology", str)
+        events = require(path, row, "events", int)
+        if not 1 <= events <= 3:
+            fail(path, f"{topo}: champion must be a 1-3 event schedule, has {events}")
+        worst = require(path, row, "worst_blackout_ms", (int, float))
+        if worst <= 0:
+            fail(path, f"{topo}: worst_blackout_ms must be positive")
+        median = require(path, row, "random_median_blackout_ms", (int, float))
+        if not 0 <= median <= worst:
+            fail(path, f"{topo}: random median outside [0, worst]")
+        if require(path, row, "affected_pairs", int) <= 0:
+            fail(path, f"{topo}: affected_pairs must be positive")
+        for key in ("skeptic_hold_ms", "unroutable_ms"):
+            if require(path, row, key, (int, float)) < 0:
+                fail(path, f"{topo}: {key} must be >= 0")
+        if require(path, row, "evaluations", int) <= 0:
+            fail(path, f"{topo}: evaluations must be positive")
+        if require(path, row, "violations", int) < 0:
+            fail(path, f"{topo}: violations must be >= 0")
+
+
 def check_generic(path, doc):
     # Every bench artifact names its experiment; beyond that the bodies
     # are experiment-specific.
@@ -141,6 +169,8 @@ def main(argv):
             check_reconfig(path, doc)
         elif experiment == "interruption":
             check_interruption(path, doc)
+        elif experiment == "worst_case":
+            check_worst_case(path, doc)
         else:
             check_generic(path, doc)
         print(f"schema OK: {path} ({experiment})")

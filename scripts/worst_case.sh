@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Run the worst-case schedule search: a counter-example-guided adversary
+# over the fault-campaign DSL that maximizes blackout damage, prints the
+# Pareto front and the shrunk champion as a pinnable reproducer test
+# (EXPERIMENTS.md E24).
+#
+# Usage: scripts/worst_case.sh [topology] [seed]
+#   ring    8-switch ring, one dual-homed host per switch (default)
+#   src     the 30-switch SRC network from the paper
+#   torus   4x4 torus
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo run --release --quiet --example worst_case "${1:-ring}" "${2:-24}"

@@ -1,0 +1,17 @@
+// Pinned by: UPDATE_GOLDENS=1 cargo test --release --test worst_case_goldens
+// Search seed 24: blackout 1.346s / 6 pairs / hold 2.831s / unroutable 0ns
+// Random corpus median blackout: 347.034ms; 22 evaluations, 0 oracle violations.
+(
+    Scenario {
+        name: "worst-24".into(),
+        topo: TopoSpec::Hosted { base: Box::new(TopoSpec::Ring { n: 8, seed: 2 }), per_switch: 1, seed: 7 },
+        seed: 24,
+        events: vec![
+            FaultEvent { at_ms: 526, op: FaultOp::LinkDown(4) },
+            FaultEvent { at_ms: 526, op: FaultOp::LinkFlaps { link: 2, half_period_ms: 73, cycles: 2 } },
+            FaultEvent { at_ms: 1071, op: FaultOp::LinkDown(5) },
+        ],
+        settle_ms: 30000,
+    },
+    1345506887u64,
+)

@@ -1,0 +1,17 @@
+// Pinned by: UPDATE_GOLDENS=1 cargo test --release --test worst_case_goldens
+// Search seed 24: blackout 4.742s / 30 pairs / hold 4.609s / unroutable 0ns
+// Random corpus median blackout: 1.531s; 22 evaluations, 0 oracle violations.
+(
+    Scenario {
+        name: "worst-24".into(),
+        topo: TopoSpec::Hosted { base: Box::new(TopoSpec::Src { seed: 1991 }), per_switch: 1, seed: 7 },
+        seed: 24,
+        events: vec![
+            FaultEvent { at_ms: 369, op: FaultOp::LinkFlaps { link: 27, half_period_ms: 46, cycles: 2 } },
+            FaultEvent { at_ms: 670, op: FaultOp::SwitchDown(13) },
+            FaultEvent { at_ms: 1458, op: FaultOp::LinkDown(44) },
+        ],
+        settle_ms: 30000,
+    },
+    4742119450u64,
+)

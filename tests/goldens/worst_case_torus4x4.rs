@@ -1,0 +1,16 @@
+// Pinned by: UPDATE_GOLDENS=1 cargo test --release --test worst_case_goldens
+// Search seed 24: blackout 4.167s / 11 pairs / hold 4.586s / unroutable 0ns
+// Random corpus median blackout: 0ns; 24 evaluations, 0 oracle violations.
+(
+    Scenario {
+        name: "worst-24".into(),
+        topo: TopoSpec::Hosted { base: Box::new(TopoSpec::Torus { w: 4, h: 4, seed: 3 }), per_switch: 1, seed: 7 },
+        seed: 24,
+        events: vec![
+            FaultEvent { at_ms: 369, op: FaultOp::SwitchDown(14) },
+            FaultEvent { at_ms: 1458, op: FaultOp::LinkDown(22) },
+        ],
+        settle_ms: 30000,
+    },
+    4167045515u64,
+)

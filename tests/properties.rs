@@ -492,6 +492,115 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `shrink_schedule` is idempotent and predicate-preserving for any
+    /// deterministic predicate: the shrunk scenario still satisfies the
+    /// predicate, and shrinking it again is a no-op. (The worst-case
+    /// search leans on this: a champion minimized under its
+    /// objective-floor predicate is already a fixpoint.)
+    #[test]
+    fn shrink_schedule_is_idempotent(
+        raw in prop::collection::vec((0u64..2_000, 0u8..4, 0usize..6), 1..10),
+        need in 0usize..3,
+    ) {
+        use autonet_check::{shrink_schedule, FaultEvent, FaultOp, Scenario, TopoSpec};
+        let events: Vec<FaultEvent> = raw
+            .iter()
+            .map(|&(at_ms, kind, target)| FaultEvent {
+                at_ms,
+                op: match kind {
+                    0 => FaultOp::LinkDown(target),
+                    1 => FaultOp::LinkUp(target),
+                    2 => FaultOp::SwitchDown(target),
+                    _ => FaultOp::SwitchUp(target),
+                },
+            })
+            .collect();
+        let scenario = Scenario {
+            name: "shrink-prop".into(),
+            topo: TopoSpec::Ring { n: 6, seed: 0 },
+            seed: 1,
+            events,
+            settle_ms: 1_000,
+        };
+        // "Still fails" = still carries at least `need` link cuts — a
+        // deterministic stand-in for "objective still at its floor".
+        let pred = |s: &Scenario| {
+            s.events
+                .iter()
+                .filter(|e| matches!(e.op, FaultOp::LinkDown(_)))
+                .count()
+                >= need
+        };
+        prop_assume!(pred(&scenario));
+        let once = shrink_schedule(&scenario, pred);
+        prop_assert!(pred(&once), "shrinking lost the predicate");
+        prop_assert!(once.events.len() <= scenario.events.len());
+        let twice = shrink_schedule(&once, pred);
+        prop_assert_eq!(&twice.events, &once.events, "shrink is not a fixpoint");
+    }
+}
+
+proptest! {
+    // Each case re-runs the full packet engine several times (the shrink
+    // predicate is an engine run); keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Shrinking a damage champion under its objective-floor predicate
+    /// never lowers the measured blackout objective, and the result is a
+    /// fixpoint of the same predicate — the worst-case search's champion
+    /// minimization, as a property.
+    #[test]
+    fn shrink_preserves_blackout_objective(
+        topo_seed in 1u64..200,
+        sim_seed in 1u64..200,
+        cut_a in 0usize..3,
+        cut_b in 0usize..3,
+        gap_ms in 0u64..400,
+    ) {
+        use autonet_check::{
+            run_packet, shrink_schedule, FaultEvent, FaultOp, OracleConfig, Scenario, TopoSpec,
+        };
+        let params = autonet::net::NetParams::tuned();
+        let cfg = OracleConfig::from_params(&params.autopilot);
+        let scenario = Scenario {
+            name: format!("shrink-objective-{topo_seed}-{sim_seed}"),
+            topo: TopoSpec::RandomConnectedHosts {
+                n: 4,
+                extra: 2,
+                per_switch: 1,
+                seed: topo_seed,
+            },
+            seed: sim_seed,
+            events: vec![
+                FaultEvent { at_ms: 100, op: FaultOp::LinkDown(cut_a) },
+                FaultEvent { at_ms: 100 + gap_ms, op: FaultOp::LinkDown(cut_b) },
+            ],
+            settle_ms: 120_000,
+        };
+        let outcome = run_packet(&scenario, &params, &cfg);
+        prop_assume!(outcome.passed());
+        let floor = outcome.damage.blackout_total;
+        let pred = |s: &Scenario| {
+            let o = run_packet(s, &params, &cfg);
+            o.passed() && o.damage.blackout_total >= floor
+        };
+        let shrunk = shrink_schedule(&scenario, pred);
+        let after = run_packet(&shrunk, &params, &cfg);
+        prop_assert!(after.passed());
+        prop_assert!(
+            after.damage.blackout_total >= floor,
+            "shrinking lowered the blackout objective: {} < {}",
+            after.damage.blackout_total,
+            floor
+        );
+        let again = shrink_schedule(&shrunk, pred);
+        prop_assert_eq!(&again.events, &shrunk.events, "objective shrink is not a fixpoint");
+    }
+}
+
 /// Deterministic (non-proptest) property: the reference topology builder
 /// produces trees whose levels are exactly BFS distance from the minimum
 /// UID, across many seeds.

@@ -1,0 +1,136 @@
+//! The worst-case schedule search, end to end: tier-1 sanity on small
+//! hosted topologies, plus the headline acceptance run on the paper's
+//! SRC network (release tier, `--ignored`).
+//!
+//! The acceptance criterion mirrors EXPERIMENTS.md E24: on src-30 the
+//! counter-example-guided search must find a ≤3-event schedule whose
+//! *total* blackout strictly exceeds the E21 random-campaign per-pair
+//! median, and the champion must survive `shrink_schedule` with its
+//! objective intact (the search asserts that internally; the golden in
+//! `tests/worst_case_goldens.rs` pins the found schedule).
+
+use autonet::net::NetParams;
+use autonet::sim::SimDuration;
+use autonet_check::{worst_case_search, DamageVector, OracleConfig, TopoSpec, WorstCaseConfig};
+
+fn hosted(base: TopoSpec) -> TopoSpec {
+    TopoSpec::Hosted {
+        base: Box::new(base),
+        per_switch: 1,
+        seed: 7,
+    }
+}
+
+/// The search's champion dominates its own random corpus: the whole
+/// point of searching instead of sampling.
+#[test]
+fn search_beats_its_random_corpus_on_a_hosted_ring() {
+    let params = NetParams::tuned();
+    let oracle = OracleConfig::from_params(&params.autopilot);
+    let cfg = WorstCaseConfig {
+        max_events: 3,
+        horizon_ms: 600,
+        settle_ms: 60_000,
+        ..WorstCaseConfig::smoke(31)
+    };
+    let res = worst_case_search(
+        &hosted(TopoSpec::Ring { n: 4, seed: 5 }),
+        &params,
+        &oracle,
+        &cfg,
+    );
+    assert!(res.champion.events.len() <= 3);
+    assert!(
+        res.damage.blackout >= res.random_median_blackout,
+        "champion ({}) below its own random median ({})",
+        res.damage.blackout,
+        res.random_median_blackout
+    );
+    assert!(
+        res.damage.blackout > SimDuration::ZERO,
+        "search found no damage at all on a hosted ring"
+    );
+    // The reproducer is the full self-contained test, ready to pin.
+    assert!(res.reproducer.contains("run_packet"));
+    assert!(res.reproducer.contains(&res.champion.name));
+}
+
+/// The returned front is a real Pareto front: no archived point
+/// dominates another.
+#[test]
+fn front_entries_are_mutually_non_dominated() {
+    let params = NetParams::tuned();
+    let oracle = OracleConfig::from_params(&params.autopilot);
+    let cfg = WorstCaseConfig {
+        corpus: 3,
+        rounds: 2,
+        children: 2,
+        max_events: 2,
+        horizon_ms: 500,
+        settle_ms: 60_000,
+        ..WorstCaseConfig::smoke(12)
+    };
+    let res = worst_case_search(
+        &hosted(TopoSpec::Ring { n: 4, seed: 5 }),
+        &params,
+        &oracle,
+        &cfg,
+    );
+    let points: Vec<DamageVector> = res.front.iter().map(|(v, _)| *v).collect();
+    for (i, a) in points.iter().enumerate() {
+        for (j, b) in points.iter().enumerate() {
+            if i != j {
+                assert!(!a.dominates(b), "front entry {a} dominates {b}");
+            }
+        }
+    }
+}
+
+/// E21's random-campaign per-pair blackout median on src-30 (see
+/// EXPERIMENTS.md E21 / BENCH_interruption.json).
+const E21_SRC30_MEDIAN_US: u64 = 36_002;
+
+/// Acceptance: on the paper's 30-switch SRC fabric the adversarial
+/// search beats random sampling — a ≤3-event schedule whose total
+/// blackout strictly exceeds both the E21 single-cut median and the
+/// search's own random corpus median, surviving the shrinker with the
+/// objective intact. Release tier: `cargo test --release --test
+/// worst_case -- --ignored`.
+#[test]
+#[ignore = "release tier: full src-30 search (~40 engine runs)"]
+fn src30_worst_case_exceeds_e21_random_median() {
+    let params = NetParams::tuned();
+    let oracle = OracleConfig::from_params(&params.autopilot);
+    let cfg = WorstCaseConfig::new(24);
+    let res = worst_case_search(
+        &hosted(TopoSpec::Src { seed: 1991 }),
+        &params,
+        &oracle,
+        &cfg,
+    );
+    assert!(
+        res.champion.events.len() <= 3,
+        "champion did not shrink to ≤3 events: {:?}",
+        res.champion.events
+    );
+    let e21_median = SimDuration::from_micros(E21_SRC30_MEDIAN_US);
+    assert!(
+        res.damage.blackout > e21_median,
+        "worst-found blackout {} does not exceed the E21 random median {}",
+        res.damage.blackout,
+        e21_median
+    );
+    assert!(
+        res.damage.blackout > res.random_median_blackout,
+        "worst-found blackout {} does not strictly exceed the corpus median {}",
+        res.damage.blackout,
+        res.random_median_blackout
+    );
+    // Shrinking preserved the objective (the search's own predicate).
+    assert!(
+        res.damage.blackout >= res.pre_shrink.blackout,
+        "shrink lowered the objective: {} < {}",
+        res.damage.blackout,
+        res.pre_shrink.blackout
+    );
+}
