@@ -128,6 +128,21 @@ pub fn ms_f64(d: SimDuration) -> f64 {
     d.as_millis_f64()
 }
 
+/// Writes a large emitted artifact (Perfetto traces, dumps) under the
+/// gitignored `<repo>/artifacts/` directory, creating it on demand.
+/// Returns the path written.
+pub fn write_artifact(relpath: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("artifacts")
+        .join(relpath);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("artifacts dir must be creatable");
+    }
+    std::fs::write(&path, contents).expect("artifact must be writable");
+    path
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,10 @@ pub struct CheckOutcome {
     /// settled — names the nodes the worst run's latency waited on,
     /// which the worst-case search biases its mutations toward.
     pub critical: Option<CriticalPath>,
+    /// The full event spine of the run — populated **only on failing
+    /// runs** (the flight recorder's raw material); empty on passes so
+    /// the worst-case search and shrinker re-runs stay allocation-lean.
+    pub records: Vec<TraceRecord>,
 }
 
 impl CheckOutcome {
@@ -183,6 +187,13 @@ pub fn run_scenario<S: Substrate>(
         });
         let damage = DamageReport::measure(interruption.as_ref(), &timeline, sub.now());
         let critical = timeline.last_fault_critical_path();
+        // The spine is cloned into the outcome only when an oracle fired:
+        // postmortems need it, passing runs don't pay for it.
+        let records = if violation.is_some() {
+            spine.to_vec()
+        } else {
+            Vec::new()
+        };
         CheckOutcome {
             violation,
             end: sub.now(),
@@ -191,6 +202,7 @@ pub fn run_scenario<S: Substrate>(
             interruption,
             damage,
             critical,
+            records,
         }
     };
 
@@ -287,6 +299,9 @@ pub fn run_scenario<S: Substrate>(
     if let Some(report) = done.interruption.as_ref() {
         let timeline = Timeline::build(&spine);
         done.violation = check_blackouts(report, &timeline, &exempt, cfg.blackout_slack, sub.now());
+        if done.violation.is_some() {
+            done.records = spine;
+        }
     }
     done
 }

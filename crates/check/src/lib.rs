@@ -28,6 +28,7 @@
 mod engine;
 mod objective;
 mod oracle;
+mod postmortem;
 mod scenario;
 mod shrink;
 mod substrate;
@@ -37,6 +38,9 @@ mod worst_case;
 pub use engine::{run_packet, run_scenario, run_slot, CheckOutcome};
 pub use objective::{DamageVector, ParetoFront};
 pub use oracle::{check_blackouts, OracleConfig, OracleState, Violation};
+pub use postmortem::{
+    default_postmortem_dir, postmortem_on_failure, write_postmortem, PostmortemConfig,
+};
 pub use scenario::{
     random_scenario, random_scenario_with, FaultEvent, FaultOp, GenOptions, Scenario, TopoSpec,
 };

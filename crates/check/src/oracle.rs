@@ -182,6 +182,24 @@ impl Violation {
             Violation::BlackoutOverrun { .. } => "blackout-overrun",
         }
     }
+
+    /// The simulation instant the violation anchors to — what the flight
+    /// recorder centers its event window on. For window-shaped violations
+    /// (blackouts) this is the window's end, the moment the oracle could
+    /// first judge it.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            Violation::EpochRegression { time, .. }
+            | Violation::TableCycle { time, .. }
+            | Violation::SkepticHold { time, .. }
+            | Violation::QuiescenceDisagreement { time, .. }
+            | Violation::ReferenceMismatch { time, .. }
+            | Violation::BlackoutMalformed { time, .. } => time,
+            Violation::SettleTimeout { at, .. } => at,
+            Violation::BlackoutUnexplained { end, .. } => end,
+            Violation::BlackoutOverrun { end, .. } => end,
+        }
+    }
 }
 
 impl std::fmt::Display for Violation {

@@ -69,6 +69,30 @@ pub struct RouteCacheStats {
     /// Serves that returned no table (switch absent or topology
     /// malformed).
     pub unroutable: u64,
+    /// Wall-clock nanoseconds spent building shared route state (the
+    /// once-per-topology 2V field sweep).
+    pub build_wall_ns: u64,
+    /// Wall-clock nanoseconds serving tables (memo hits and synthesis;
+    /// everything in `serve` except delta reuse).
+    pub serve_wall_ns: u64,
+    /// Wall-clock nanoseconds spent on delta-proof serves (proof plus
+    /// the table handover).
+    pub delta_wall_ns: u64,
+}
+
+impl RouteCacheStats {
+    /// The work counters without the wall-clock attribution — what the
+    /// equivalence experiments compare, since wall time is never
+    /// reproducible.
+    pub fn work(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.builds,
+            self.served_memo,
+            self.delta_reused,
+            self.synthesized,
+            self.unroutable,
+        )
+    }
 }
 
 /// The shared per-topology route state: one analyzer plus the complete
@@ -251,7 +275,9 @@ impl Inner {
             std::mem::swap(&mut self.current, &mut self.previous);
             return; // `delta_ok` is symmetric; the swap preserves it.
         }
+        let t0 = std::time::Instant::now();
         let shared = SharedRoutes::build(global);
+        self.stats.build_wall_ns += t0.elapsed().as_nanos() as u64;
         if shared.is_some() {
             self.stats.builds += 1;
         }
@@ -304,14 +330,18 @@ impl Inner {
     }
 
     fn serve(&mut self, my_uid: Uid, live_host_ports: &[PortIndex]) -> Option<ForwardingTable> {
+        let t0 = std::time::Instant::now();
         let key = (my_uid, live_host_ports.to_vec());
         if let Some(memo) = self.current.as_ref().and_then(|g| g.tables.get(&key)) {
             self.stats.served_memo += 1;
-            return memo.clone();
+            let memo = memo.clone();
+            self.stats.serve_wall_ns += t0.elapsed().as_nanos() as u64;
+            return memo;
         }
         let table = match self.delta_donor(my_uid, live_host_ports) {
             Some(t) => {
                 self.stats.delta_reused += 1;
+                self.stats.delta_wall_ns += t0.elapsed().as_nanos() as u64;
                 Some(t)
             }
             None => {
@@ -324,6 +354,7 @@ impl Inner {
                     Some(_) => self.stats.synthesized += 1,
                     None => self.stats.unroutable += 1,
                 }
+                self.stats.serve_wall_ns += t0.elapsed().as_nanos() as u64;
                 t
             }
         };
@@ -385,6 +416,20 @@ mod tests {
             let stats = cache.stats();
             assert_eq!(stats.builds, 1, "one content digest, one build");
             assert!(stats.served_memo > 0, "second pass must hit the memo");
+            // Wall attribution tracks the work that actually happened.
+            assert!(stats.build_wall_ns > 0, "the build took real time");
+            assert!(stats.serve_wall_ns > 0, "serves took real time");
+            assert_eq!(stats.delta_wall_ns, 0, "no delta serves happened");
+            assert_eq!(
+                stats.work(),
+                (
+                    stats.builds,
+                    stats.served_memo,
+                    stats.delta_reused,
+                    stats.synthesized,
+                    stats.unroutable
+                )
+            );
         }
     }
 

@@ -290,6 +290,13 @@ impl PartitionedNetwork {
             })
             .collect();
         let mut sim = ShardedSimulator::new(worlds, owner, window);
+        // Kernel telemetry rides the tracing switch: observability on,
+        // wall-clock accounting on. Wall time never feeds back into
+        // simulation behavior, so the partition-invisibility guarantee
+        // is untouched (the determinism tests run with tracing on).
+        if params.tracing {
+            sim.enable_telemetry();
+        }
         for (at, event) in boots {
             sim.schedule_external(at, event);
         }
@@ -378,6 +385,99 @@ impl PartitionedNetwork {
             total.last_state_change = total.last_state_change.max(s.last_state_change);
         }
         total
+    }
+
+    /// Per-shard kernel telemetry (`None` unless `params.tracing`): what
+    /// each shard's worker did and what it waited on.
+    pub fn shard_telemetry(&self) -> Option<Vec<autonet_sim::ShardTelemetry>> {
+        self.sim.telemetry()
+    }
+
+    /// Work counters (and wall-clock split) of the fleet-shared route
+    /// cache, if [`NetParams::route_cache`](crate::NetParams) is on. The
+    /// cache is one `Arc` shared by every shard, so any shard's view is
+    /// the global one.
+    pub fn route_cache_stats(&self) -> Option<autonet_core::RouteCacheStats> {
+        self.sim
+            .world(0)
+            .net
+            .switches
+            .route_cache
+            .as_ref()
+            .map(|c| c.stats())
+    }
+
+    /// The kernel's execution profile as one merged [`MetricsRegistry`]
+    /// (`None` unless `params.tracing`): per-shard registries folded with
+    /// [`MetricsRegistry::merge`], so counters sum across shards, the
+    /// `*_max` gauges keep the hottest shard, and the per-shard
+    /// histograms expose wait/work quantiles. Route-cache counters and
+    /// wall split are folded in when the cache is enabled.
+    pub fn kernel_metrics(&self) -> Option<autonet_trace::MetricsRegistry> {
+        use autonet_trace::MetricsRegistry;
+        let tel = self.sim.telemetry()?;
+        let mut merged = MetricsRegistry::new();
+        for t in &tel {
+            let mut shard = MetricsRegistry::new();
+            shard.count("kernel.events", t.events);
+            shard.count("kernel.windows", t.windows);
+            shard.count("kernel.busy_windows", t.busy_windows);
+            shard.count("kernel.work_ns", t.work_ns);
+            shard.count("kernel.barrier_wait_ns", t.barrier_wait_ns);
+            shard.count("kernel.mailbox_in", t.mailbox_in);
+            shard.count("kernel.mailbox_out", t.mailbox_out);
+            shard.gauge_set(
+                "kernel.shard_events_max",
+                t.events.min(i64::MAX as u64) as i64,
+            );
+            shard.gauge_set(
+                "kernel.shard_barrier_wait_ns_max",
+                t.barrier_wait_ns.min(i64::MAX as u64) as i64,
+            );
+            shard.observe("kernel.shard_work", SimDuration::from_nanos(t.work_ns));
+            shard.observe(
+                "kernel.shard_barrier_wait",
+                SimDuration::from_nanos(t.barrier_wait_ns),
+            );
+            merged.merge(&shard);
+        }
+        if let Some(rc) = self.route_cache_stats() {
+            merged.count("route_cache.builds", rc.builds);
+            merged.count("route_cache.served_memo", rc.served_memo);
+            merged.count("route_cache.delta_reused", rc.delta_reused);
+            merged.count("route_cache.synthesized", rc.synthesized);
+            merged.count("route_cache.unroutable", rc.unroutable);
+            merged.count("route_cache.build_wall_ns", rc.build_wall_ns);
+            merged.count("route_cache.serve_wall_ns", rc.serve_wall_ns);
+            merged.count("route_cache.delta_wall_ns", rc.delta_wall_ns);
+        }
+        Some(merged)
+    }
+
+    /// Fraction of accounted wall time the shards spent blocked at round
+    /// barriers (`barrier / (barrier + work)`); `None` without telemetry,
+    /// zero when nothing was measured yet.
+    pub fn barrier_wait_fraction(&self) -> Option<f64> {
+        let tel = self.sim.telemetry()?;
+        let barrier: u64 = tel.iter().map(|t| t.barrier_wait_ns).sum();
+        let work: u64 = tel.iter().map(|t| t.work_ns).sum();
+        if barrier + work == 0 {
+            return Some(0.0);
+        }
+        Some(barrier as f64 / (barrier + work) as f64)
+    }
+
+    /// Load-imbalance index: the hottest shard's event count relative to
+    /// the per-shard mean (1.0 = perfectly balanced, `nshards` = one
+    /// shard did everything). `None` without telemetry.
+    pub fn load_imbalance(&self) -> Option<f64> {
+        let tel = self.sim.telemetry()?;
+        let total: u64 = tel.iter().map(|t| t.events).sum();
+        if total == 0 {
+            return Some(1.0);
+        }
+        let max = tel.iter().map(|t| t.events).max().unwrap_or(0);
+        Some(max as f64 * tel.len() as f64 / total as f64)
     }
 
     /// Total reconfigurations initiated across all switches.

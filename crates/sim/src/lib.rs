@@ -51,6 +51,6 @@ pub use calendar::CalendarQueue;
 pub use engine::{Scheduler, Simulator, World};
 pub use queue::EventQueue;
 pub use rng::SimRng;
-pub use shard::{ShardWorld, ShardedSimulator, EXTERNAL_SOURCE};
+pub use shard::{ShardTelemetry, ShardWorld, ShardedSimulator, EXTERNAL_SOURCE};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceLog};

@@ -55,6 +55,53 @@ use crate::time::{SimDuration, SimTime};
 /// Stamp source for events scheduled from outside the event loop.
 pub const EXTERNAL_SOURCE: u32 = u32::MAX;
 
+/// Per-shard execution telemetry, accumulated while the loop runs.
+///
+/// Opt-in via [`ShardedSimulator::enable_telemetry`]; when disabled the
+/// loop takes no wall-clock timestamps at all. Wall time is measurement
+/// only — simulation behavior is a pure function of virtual time, so
+/// enabling telemetry cannot perturb determinism (the ring tests assert
+/// it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardTelemetry {
+    /// Events this shard's worker processed.
+    pub events: u64,
+    /// Lookahead windows the shard participated in.
+    pub windows: u64,
+    /// Windows in which this shard processed at least one event — the
+    /// utilization numerator (`busy_windows / windows`): a shard that
+    /// mostly idles through windows is along for the barrier ride.
+    pub busy_windows: u64,
+    /// Wall time inside `run_window` plus the window's publish step.
+    pub work_ns: u64,
+    /// Wall time blocked on the three round barriers (always zero on the
+    /// thread-free single-shard path).
+    pub barrier_wait_ns: u64,
+    /// Cross-shard events this shard staged into other shards' mailboxes.
+    pub mailbox_out: u64,
+    /// Cross-shard events this shard drained from its own mailbox.
+    pub mailbox_in: u64,
+}
+
+impl ShardTelemetry {
+    fn note_window(&mut self, events: u64, work: std::time::Duration) {
+        self.windows += 1;
+        self.events += events;
+        if events > 0 {
+            self.busy_windows += 1;
+        }
+        self.work_ns += work.as_nanos() as u64;
+    }
+
+    /// Fraction of windows in which the shard had any event to process.
+    pub fn utilization(&self) -> f64 {
+        if self.windows == 0 {
+            return 0.0;
+        }
+        self.busy_windows as f64 / self.windows as f64
+    }
+}
+
 /// A pending event with its canonical `(time, src, seq)` stamp.
 struct Stamped<E> {
     time: SimTime,
@@ -134,6 +181,9 @@ struct Shard<W: ShardWorld> {
     /// Cross-shard emissions staged per destination during a window.
     staged: Vec<Vec<Stamped<W::Event>>>,
     processed: u64,
+    /// `Some` once telemetry is enabled; the loop timestamps nothing
+    /// while this is `None`.
+    telemetry: Option<ShardTelemetry>,
 }
 
 impl<W: ShardWorld> Shard<W> {
@@ -224,6 +274,7 @@ impl<W: ShardWorld> ShardedSimulator<W> {
                 emitted: Vec::new(),
                 staged: (0..nsh).map(|_| Vec::new()).collect(),
                 processed: 0,
+                telemetry: None,
             })
             .collect();
         ShardedSimulator {
@@ -264,6 +315,27 @@ impl<W: ShardWorld> ShardedSimulator<W> {
     /// Total events processed across all shards.
     pub fn events_processed(&self) -> u64 {
         self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Turns on per-shard telemetry for all subsequent runs. Counters
+    /// start from zero; calling again resets them.
+    pub fn enable_telemetry(&mut self) {
+        for shard in &mut self.shards {
+            shard.telemetry = Some(ShardTelemetry::default());
+        }
+    }
+
+    /// The per-shard telemetry, one entry per shard; `None` unless
+    /// [`enable_telemetry`](ShardedSimulator::enable_telemetry) was
+    /// called.
+    pub fn telemetry(&self) -> Option<Vec<ShardTelemetry>> {
+        self.shards[0].telemetry?;
+        Some(
+            self.shards
+                .iter()
+                .map(|s| s.telemetry.unwrap_or_default())
+                .collect(),
+        )
     }
 
     /// Schedules an event from outside the loop, routed to the owner of
@@ -330,10 +402,17 @@ impl<W: ShardWorld> ShardedSimulator<W> {
     fn run_until_single(&mut self, deadline: SimTime) {
         while let Some(end) = self.next_window_end(deadline) {
             let shard = &mut self.shards[0];
+            let t0 = shard.telemetry.map(|_| std::time::Instant::now());
+            let before = shard.processed;
             shard.run_window(&self.owner, 0, end);
             debug_assert!(shard.staged.iter().all(Vec::is_empty));
             shard.world.export_mirror(&mut self.scratch_mirror);
             shard.world.apply_mirror(&self.scratch_mirror);
+            if let Some(t0) = t0 {
+                let delta = shard.processed - before;
+                let tel = shard.telemetry.as_mut().expect("telemetry enabled");
+                tel.note_window(delta, t0.elapsed());
+            }
         }
     }
 
@@ -377,6 +456,17 @@ impl<W: ShardWorld> ShardedSimulator<W> {
                             Ok(()) => true,
                         }
                     }
+                    // Barrier stalls are accounted to the waiting shard:
+                    // a shard that reaches the barrier early is waiting on
+                    // the round's straggler.
+                    fn timed_wait<W: ShardWorld>(barrier: &Barrier, shard: &mut Shard<W>) {
+                        let t0 = shard.telemetry.map(|_| std::time::Instant::now());
+                        barrier.wait();
+                        if let Some(t0) = t0 {
+                            let tel = shard.telemetry.as_mut().expect("telemetry enabled");
+                            tel.barrier_wait_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                    }
                     loop {
                         // Phase 1 — shard 0 publishes the next window
                         // (computed from the peeks everyone published at
@@ -387,27 +477,37 @@ impl<W: ShardWorld> ShardedSimulator<W> {
                                 .filter(|&m| m != u64::MAX)
                                 .and_then(|m| next_end(m, window_ns, deadline));
                         }
-                        barrier.wait();
+                        timed_wait(barrier, shard);
                         let Some(end) = *round.lock().expect("round lock") else {
                             break;
                         };
                         // Phase 2 — process the window in isolation, then
                         // publish cross-shard events and the mirror slice.
                         let work = catch_unwind(AssertUnwindSafe(|| {
+                            let t0 = shard.telemetry.map(|_| std::time::Instant::now());
+                            let before = shard.processed;
                             shard.run_window(owner, me as u32, end);
+                            let mut staged_out = 0u64;
                             for (dst, staged) in shard.staged.iter_mut().enumerate() {
                                 if !staged.is_empty() {
+                                    staged_out += staged.len() as u64;
                                     mailboxes[dst].lock().expect("mailbox lock").append(staged);
                                 }
                             }
                             shard
                                 .world
                                 .export_mirror(&mut mirrors[me].lock().expect("mirror lock"));
+                            if let Some(t0) = t0 {
+                                let delta = shard.processed - before;
+                                let tel = shard.telemetry.as_mut().expect("telemetry enabled");
+                                tel.note_window(delta, t0.elapsed());
+                                tel.mailbox_out += staged_out;
+                            }
                         }));
                         if work.is_err() {
                             poisoned.store(true, MemOrder::SeqCst);
                         }
-                        barrier.wait();
+                        timed_wait(barrier, shard);
                         if poisoned.load(MemOrder::SeqCst) && bail(work) {
                             break;
                         }
@@ -415,7 +515,9 @@ impl<W: ShardWorld> ShardedSimulator<W> {
                         // racy; the keyed queue restores canonical order),
                         // latch every shard's mirror, publish our peek.
                         let work = catch_unwind(AssertUnwindSafe(|| {
+                            let mut drained = 0u64;
                             for st in mailboxes[me].lock().expect("mailbox lock").drain(..) {
+                                drained += 1;
                                 shard.queue.push(Reverse(st));
                             }
                             for mirror in mirrors {
@@ -424,11 +526,14 @@ impl<W: ShardWorld> ShardedSimulator<W> {
                                     .apply_mirror(&mirror.lock().expect("mirror lock"));
                             }
                             peeks[me].store(shard.peek_ns(), MemOrder::Relaxed);
+                            if let Some(tel) = shard.telemetry.as_mut() {
+                                tel.mailbox_in += drained;
+                            }
                         }));
                         if work.is_err() {
                             poisoned.store(true, MemOrder::SeqCst);
                         }
-                        barrier.wait();
+                        timed_wait(barrier, shard);
                         if poisoned.load(MemOrder::SeqCst) && bail(work) {
                             break;
                         }
@@ -540,6 +645,18 @@ mod tests {
     }
 
     fn run(nshards: usize) -> (Vec<(u64, u32, u64)>, Vec<u64>, u64) {
+        run_with_telemetry(nshards, false).0
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_with_telemetry(
+        nshards: usize,
+        telemetry: bool,
+    ) -> (
+        (Vec<(u64, u32, u64)>, Vec<u64>, u64),
+        Option<Vec<ShardTelemetry>>,
+        u64,
+    ) {
         let owner: Vec<u32> = (0..NODES).map(|n| (n * nshards / NODES) as u32).collect();
         let worlds: Vec<Ring> = (0..nshards as u32)
             .map(|k| Ring {
@@ -551,6 +668,9 @@ mod tests {
             })
             .collect();
         let mut sim = ShardedSimulator::new(worlds, owner.clone(), SimDuration::from_nanos(HOP));
+        if telemetry {
+            sim.enable_telemetry();
+        }
         for n in 0..4u32 {
             sim.schedule_external(
                 SimTime::from_nanos(u64::from(n) * 250),
@@ -577,7 +697,9 @@ mod tests {
             .iter()
             .map(|s| s.world.latched_sum)
             .fold(0, u64::wrapping_add);
-        (log, counters, latched)
+        let tel = sim.telemetry();
+        let processed = sim.events_processed();
+        ((log, counters, latched), tel, processed)
     }
 
     #[test]
@@ -597,6 +719,38 @@ mod tests {
         // Every delivery with hops > 0 also fired a local event (+10).
         let total: u64 = counters.iter().sum();
         assert_eq!(total, 4 * 201 + 10 * 4 * 200);
+    }
+
+    #[test]
+    fn telemetry_accounts_without_perturbing_the_run() {
+        let base = run(4);
+        for nshards in [1usize, 4] {
+            let (result, tel, processed) = run_with_telemetry(nshards, true);
+            if nshards == 4 {
+                assert_eq!(result, base, "telemetry changed the simulation");
+            }
+            let tel = tel.expect("telemetry enabled");
+            assert_eq!(tel.len(), nshards);
+            let events: u64 = tel.iter().map(|t| t.events).sum();
+            assert_eq!(events, processed, "every processed event is counted");
+            let mail_out: u64 = tel.iter().map(|t| t.mailbox_out).sum();
+            let mail_in: u64 = tel.iter().map(|t| t.mailbox_in).sum();
+            assert_eq!(mail_out, mail_in, "staged events all get drained");
+            for t in &tel {
+                assert!(t.windows > 0);
+                assert!(t.busy_windows <= t.windows);
+                assert!(t.utilization() > 0.0 && t.utilization() <= 1.0);
+            }
+            if nshards == 1 {
+                assert_eq!(mail_out, 0, "single shard never crosses");
+                assert_eq!(tel[0].barrier_wait_ns, 0, "no barriers on one shard");
+            } else {
+                assert!(mail_out > 0, "the ring token must cross shards");
+            }
+        }
+        // Telemetry stays off (and unallocated) unless requested.
+        let (_, tel, _) = run_with_telemetry(2, false);
+        assert!(tel.is_none());
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod interruption;
 mod jsonl;
 mod metrics;
 mod objective;
+mod spans;
 mod timeline;
 
 use autonet_core::Event;
@@ -40,6 +41,7 @@ pub use interruption::{BlackoutWindow, InterruptionConfig, InterruptionReport, P
 pub use jsonl::to_jsonl;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use objective::DamageReport;
+pub use spans::{BlackoutSpan, EpochSpan, SpanTree};
 pub use timeline::{EpochReport, Timeline};
 
 /// One spine entry: a typed event, attributed to a node, timestamped.

@@ -181,13 +181,23 @@ impl MetricsRegistry {
     }
 
     /// Merges another registry into this one: counters and histograms
-    /// add, gauges take the other's value, snapshots concatenate.
+    /// add, gauges take the elementwise **max**, snapshots concatenate.
+    ///
+    /// Gauge-max (not last-write-wins) makes the merge commutative and
+    /// associative, so a fold over per-shard registries yields the same
+    /// result in any merge order — the property the sharded kernel
+    /// relies on when it combines per-shard telemetry, and the reason a
+    /// gauge like `kernel.shard_events_max` reads as "the hottest shard"
+    /// after the fold. Gauges that need a sum should be counters.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (&k, &v) in &other.counters {
             self.count(k, v);
         }
         for (&k, &v) in &other.gauges {
-            self.gauges.insert(k, v);
+            self.gauges
+                .entry(k)
+                .and_modify(|e| *e = (*e).max(v))
+                .or_insert(v);
         }
         for (&k, h) in &other.histograms {
             self.histograms.entry(k).or_default().merge(h);
@@ -204,6 +214,41 @@ impl MetricsRegistry {
     /// Iterates histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
         self.histograms.iter().map(|(&k, h)| (k, h))
+    }
+
+    /// Canonical JSONL export: one line per metric, names in order,
+    /// counters then gauges then histograms. Histogram lines carry the
+    /// p50/p99/p99.9 upper bounds from
+    /// [`Histogram::quantile_upper_bound`] so tail latency reaches the
+    /// artifact, not just the mean.
+    pub fn to_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{k}\",\"value\":{v}}}"
+            )
+            .expect("writing to a String cannot fail");
+        }
+        for (k, v) in &self.gauges {
+            writeln!(out, "{{\"type\":\"gauge\",\"name\":\"{k}\",\"value\":{v}}}")
+                .expect("writing to a String cannot fail");
+        }
+        for (k, h) in &self.histograms {
+            writeln!(
+                out,
+                "{{\"type\":\"histogram\",\"name\":\"{k}\",\"count\":{},\"mean_ns\":{},\
+                 \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{}}}",
+                h.count(),
+                h.mean().as_nanos(),
+                h.quantile_upper_bound(0.5).as_nanos(),
+                h.quantile_upper_bound(0.99).as_nanos(),
+                h.quantile_upper_bound(0.999).as_nanos()
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out
     }
 }
 
@@ -339,5 +384,86 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn gauge_merge_takes_the_max() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.gauge_set("hot", 3);
+        a.gauge_set("only_a", -7);
+        b.gauge_set("hot", 9);
+        b.gauge_set("only_b", 4);
+        a.merge(&b);
+        assert_eq!(a.gauge("hot"), 9);
+        assert_eq!(a.gauge("only_a"), -7);
+        assert_eq!(a.gauge("only_b"), 4);
+        // Max keeps the winner even when the merged-in side is smaller.
+        let mut c = MetricsRegistry::new();
+        c.gauge_set("hot", 1);
+        a.merge(&c);
+        assert_eq!(a.gauge("hot"), 9);
+    }
+
+    #[test]
+    fn gauge_merge_is_order_independent() {
+        let mut regs = Vec::new();
+        for v in [5i64, 2, 8, 8, 1] {
+            let mut r = MetricsRegistry::new();
+            r.gauge_set("g", v);
+            r.count("c", v as u64);
+            regs.push(r);
+        }
+        let fold = |order: &[usize]| {
+            let mut acc = MetricsRegistry::new();
+            for &i in order {
+                acc.merge(&regs[i]);
+            }
+            (acc.gauge("g"), acc.counter("c"))
+        };
+        let forward = fold(&[0, 1, 2, 3, 4]);
+        let backward = fold(&[4, 3, 2, 1, 0]);
+        let shuffled = fold(&[2, 0, 4, 1, 3]);
+        assert_eq!(forward, (8, 24));
+        assert_eq!(forward, backward);
+        assert_eq!(forward, shuffled);
+    }
+
+    #[test]
+    fn jsonl_export_carries_quantiles() {
+        let mut m = MetricsRegistry::new();
+        m.count("events", 12);
+        m.gauge_set("shards", 4);
+        for i in 1..=100u64 {
+            m.observe("wait", SimDuration::from_nanos(i));
+        }
+        let jsonl = m.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"counter\",\"name\":\"events\",\"value\":12}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"gauge\",\"name\":\"shards\",\"value\":4}"
+        );
+        assert!(lines[2].starts_with("{\"type\":\"histogram\",\"name\":\"wait\",\"count\":100,"));
+        assert!(lines[2].contains("\"p50_ns\":"));
+        assert!(lines[2].contains("\"p99_ns\":"));
+        assert!(lines[2].contains("\"p999_ns\":"));
+        // Quantiles are genuine upper bounds in the export too.
+        let grab = |key: &str| -> u64 {
+            let i = lines[2].find(key).unwrap() + key.len();
+            lines[2][i..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        };
+        assert!(grab("\"p50_ns\":") >= 50);
+        assert!(grab("\"p99_ns\":") >= 99);
+        assert!(grab("\"p999_ns\":") >= grab("\"p99_ns\":"));
     }
 }

@@ -18,6 +18,10 @@
 //! close-propagation / tree-stabilize / address-assign /
 //! table-distribute / reopen step the reconfiguration latency is
 //! actually waiting on.
+//!
+//! `--perfetto <out.json>` additionally exports the run's causal span
+//! tree in Chrome Trace Event Format — drop the file onto
+//! <https://ui.perfetto.dev> to scrub through the epochs visually.
 
 use autonet::net::{NetParams, Network};
 use autonet::sim::{SimDuration, SimTime};
@@ -73,18 +77,28 @@ fn src_link_cut() -> Vec<TraceRecord> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let critical = args.iter().any(|a| a == "--critical-path");
-    if let Some(flag) = args
-        .iter()
-        .find(|a| a.starts_with("--") && *a != "--critical-path")
-    {
-        eprintln!("unknown flag '{flag}'; the only flag is --critical-path");
-        std::process::exit(2);
+    // `--perfetto` consumes the next argument as the output path.
+    let mut perfetto: Option<String> = None;
+    let mut positional: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--critical-path" => {}
+            "--perfetto" => match it.next() {
+                Some(path) => perfetto = Some(path.clone()),
+                None => {
+                    eprintln!("--perfetto needs an output path (e.g. --perfetto out.json)");
+                    std::process::exit(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag '{flag}'; flags: --critical-path, --perfetto <out.json>");
+                std::process::exit(2);
+            }
+            name => positional = Some(name.to_string()),
+        }
     }
-    let scenario = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "single_link_cut".to_string());
+    let scenario = positional.unwrap_or_else(|| "single_link_cut".to_string());
     let records = match scenario.as_str() {
         "single_link_cut" => single_link_cut(),
         "switch_crash_revive" => switch_crash_revive(),
@@ -144,5 +158,15 @@ fn main() {
         if !any {
             println!("  (no epoch has a complete causal chain)");
         }
+    }
+
+    if let Some(out) = perfetto {
+        let tree = tl.span_tree();
+        std::fs::write(&out, tree.to_chrome_trace())
+            .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        println!(
+            "\nwrote {} epoch spans to {out} (open at https://ui.perfetto.dev)",
+            tree.epochs.len()
+        );
     }
 }

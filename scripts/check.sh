@@ -39,6 +39,13 @@ python3 scripts/check_bench_schema.py \
     BENCH_worst_case_smoke.json \
     BENCH_reconfig.json BENCH_interruption.json
 
+echo "==> Perfetto trace schema"
+# The smoke bench above just emitted the flagship span trace; validate it
+# together with the committed golden export.
+python3 scripts/check_trace_schema.py \
+    artifacts/e22_fat_tree_256.trace.json \
+    tests/goldens/single_link_cut.trace.json
+
 # Opt-in: regenerate the machine-readable experiment results at the repo
 # root (BENCH_reconfig.json, BENCH_interruption.json) and gate the fresh
 # E1 numbers against the committed baseline: the dominant critical-path

@@ -44,6 +44,57 @@ def check_scale(path, doc):
         ):
             if require(path, row, key, (int, float)) <= 0:
                 fail(path, f"{row['topology']}: {key} must be positive")
+        # Kernel-telemetry attribution columns (causal-profiler PR).
+        if require(path, row, "partitions", int) <= 0:
+            fail(path, f"{row['topology']}: partitions must be positive")
+        if require(path, row, "profile_wall_s", (int, float)) <= 0:
+            fail(path, f"{row['topology']}: profile_wall_s must be positive")
+        if require(path, row, "profile_events", int) <= 0:
+            fail(path, f"{row['topology']}: profile_events must be positive")
+        frac = require(path, row, "barrier_wait_frac", (int, float))
+        if not 0.0 <= frac <= 1.0:
+            fail(path, f"{row['topology']}: barrier_wait_frac out of [0, 1]")
+        if require(path, row, "load_imbalance", (int, float)) < 1.0 - 1e-9:
+            fail(path, f"{row['topology']}: load_imbalance below 1.0")
+        quantiles = [
+            require(path, row, k, (int, float))
+            for k in (
+                "barrier_wait_p50_ms",
+                "barrier_wait_p99_ms",
+                "barrier_wait_p999_ms",
+            )
+        ]
+        if any(q < 0 for q in quantiles) or quantiles != sorted(quantiles):
+            fail(path, f"{row['topology']}: barrier-wait quantiles not monotone")
+        rc = row.get("route_cache")
+        if rc is not None:
+            for key in (
+                "builds",
+                "served_memo",
+                "delta_reused",
+                "synthesized",
+                "unroutable",
+            ):
+                if require(path, rc, key, int) < 0:
+                    fail(path, f"{row['topology']}: route_cache.{key} negative")
+            for key in ("build_wall_ms", "serve_wall_ms", "delta_wall_ms"):
+                if require(path, rc, key, (int, float)) < 0:
+                    fail(path, f"{row['topology']}: route_cache.{key} negative")
+        shards = require(path, row, "shards", list)
+        if len(shards) != row["partitions"]:
+            fail(path, f"{row['topology']}: shards length != partitions")
+        if sum(require(path, s, "events", int) for s in shards) != row["profile_events"]:
+            fail(path, f"{row['topology']}: shard events do not sum to profile total")
+        for s in shards:
+            for key in ("windows", "busy_windows", "mailbox_in", "mailbox_out"):
+                if require(path, s, key, int) < 0:
+                    fail(path, f"{row['topology']}: shard {key} negative")
+            for key in ("work_ms", "barrier_wait_ms"):
+                if require(path, s, key, (int, float)) < 0:
+                    fail(path, f"{row['topology']}: shard {key} negative")
+            util = require(path, s, "utilization", (int, float))
+            if not 0.0 <= util <= 1.0:
+                fail(path, f"{row['topology']}: shard utilization out of [0, 1]")
 
 
 # The six stable phase tags of autonet-trace's critical path.

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Schema check for emitted Chrome Trace Event Format files.
+
+Validates the causal span exports (`SpanTree::to_chrome_trace`) that the
+E22 bench, the trace_timeline example and the flight recorder write, so
+a malformed trace fails the gate instead of failing silently when
+someone finally drops it onto https://ui.perfetto.dev.
+
+Usage: check_trace_schema.py FILE...
+"""
+
+import json
+import sys
+
+# The six stable phase tags of autonet-trace's critical path.
+PHASES = {
+    "detect",
+    "close-propagation",
+    "tree-stabilize",
+    "address-assign",
+    "table-distribute",
+    "reopen",
+}
+
+CATS = {"epoch", "phase", "blackout"}
+
+
+def fail(path, msg):
+    print(f"trace schema check FAILED: {path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(path, obj, key, types):
+    if key not in obj:
+        fail(path, f"missing key {key!r} in {obj.get('name', obj)}")
+    if not isinstance(obj[key], types):
+        fail(path, f"key {key!r} has type {type(obj[key]).__name__}")
+    return obj[key]
+
+
+def check_trace(path, doc):
+    require(path, doc, "displayTimeUnit", str)
+    events = require(path, doc, "traceEvents", list)
+    flows = {}  # id -> set of phases seen
+    n_spans = 0
+    for ev in events:
+        ph = require(path, ev, "ph", str)
+        if ph not in {"M", "X", "s", "f"}:
+            fail(path, f"unknown event phase {ph!r}")
+        require(path, ev, "pid", int)
+        if ph == "M":
+            name = require(path, ev, "name", str)
+            if name not in {"process_name", "thread_name"}:
+                fail(path, f"metadata event named {name!r}")
+            require(path, require(path, ev, "args", dict), "name", str)
+            continue
+        cat = require(path, ev, "cat", str)
+        if cat not in CATS:
+            fail(path, f"unknown category {cat!r}")
+        if require(path, ev, "ts", (int, float)) < 0:
+            fail(path, f"negative ts in {ev['name']!r}")
+        if ph in {"s", "f"}:
+            flow_id = require(path, ev, "id", int)
+            flows.setdefault(flow_id, set()).add(ph)
+            if ph == "f" and ev.get("bp") != "e":
+                fail(path, f"flow finish {flow_id} without bp=e")
+            continue
+        n_spans += 1
+        require(path, ev, "tid", int)
+        name = require(path, ev, "name", str)
+        if require(path, ev, "dur", (int, float)) < 0:
+            fail(path, f"negative dur in {name!r}")
+        args = require(path, ev, "args", dict)
+        if cat == "phase" and name not in PHASES:
+            fail(path, f"unknown phase tag {name!r}")
+        if cat == "epoch":
+            require(path, args, "epoch", int)
+            require(path, args, "merged", list)
+        if cat == "blackout":
+            require(path, args, "probes_lost", int)
+            require(path, args, "restored", bool)
+    for flow_id, phases in flows.items():
+        if phases != {"s", "f"}:
+            fail(path, f"flow {flow_id} is unpaired (saw {sorted(phases)})")
+    return n_spans, len(flows)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_trace_schema.py FILE...", file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, str(e))
+        n_spans, n_flows = check_trace(path, doc)
+        print(f"trace schema OK: {path} ({n_spans} spans, {n_flows} flows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,14 +18,22 @@
 use autonet::autopilot::AutopilotParams;
 use autonet::net::{NetParams, SlotNet};
 use autonet_check::{
-    degraded_params, packet_reproducer, random_scenario, run_packet, run_slot, FaultEvent, FaultOp,
-    OracleConfig, Reproducer, Scenario, TopoSpec,
+    default_postmortem_dir, degraded_params, packet_reproducer, postmortem_on_failure,
+    random_scenario, run_packet, run_slot, write_postmortem, CheckOutcome, FaultEvent, FaultOp,
+    OracleConfig, PostmortemConfig, Reproducer, Scenario, TopoSpec,
 };
 
-/// Shrinks a failing campaign and panics with a self-contained reproducer
-/// (the whole point of the exercise: the CI log *is* the regression test).
-fn fail_with_reproducer(scenario: &Scenario, params: &NetParams, cfg: &OracleConfig) -> ! {
+/// Shrinks a failing campaign, drops a postmortem bundle, and panics with
+/// a self-contained reproducer (the whole point of the exercise: the CI
+/// log *is* the regression test, and the bundle is the crime scene).
+fn fail_with_reproducer(
+    scenario: &Scenario,
+    outcome: &CheckOutcome,
+    params: &NetParams,
+    cfg: &OracleConfig,
+) -> ! {
     let rep = packet_reproducer(scenario, params, cfg).expect("caller observed a violation");
+    postmortem_on_failure(&scenario.name, scenario, outcome, Some(&rep));
     panic!(
         "campaign {} violated an invariant; minimal reproducer:\n\n{}",
         scenario.name,
@@ -44,7 +52,7 @@ fn run_corpus(seeds: impl Iterator<Item = u64>, n_events: usize) {
         let scenario = random_scenario(seed, n_events);
         let outcome = run_packet(&scenario, &params, &cfg);
         if !outcome.passed() {
-            fail_with_reproducer(&scenario, &params, &cfg);
+            fail_with_reproducer(&scenario, &outcome, &params, &cfg);
         }
         assert!(
             outcome.quiescences >= 2,
@@ -177,6 +185,91 @@ fn planted_skeptic_bug_is_caught_and_shrunk() {
     assert!(snippet.contains("fn reproduces_skeptic_hold()"));
     assert!(snippet.contains("FaultOp::LinkDown(0)"));
     assert!(snippet.contains("assert_eq!(v.kind(), \"skeptic-hold\")"));
+}
+
+/// The flight-recorder acceptance check: a forced oracle failure (the
+/// planted skeptic bug's two-event trigger) must produce a complete
+/// postmortem bundle — summary, bounded event window, Perfetto span
+/// export, metrics with quantiles, and the shrunken reproducer — in one
+/// directory under the gitignored artifacts root.
+#[test]
+fn forced_failure_emits_a_complete_postmortem_bundle() {
+    let params = NetParams {
+        autopilot: degraded_params(),
+        ..NetParams::tuned()
+    };
+    let cfg = OracleConfig {
+        step_ms: 5,
+        ..OracleConfig::from_params(&AutopilotParams::tuned())
+    };
+    let scenario = Scenario {
+        name: "forced-postmortem".into(),
+        topo: TopoSpec::Ring { n: 4, seed: 0 },
+        seed: 7,
+        events: vec![
+            FaultEvent {
+                at_ms: 100,
+                op: FaultOp::LinkDown(0),
+            },
+            FaultEvent {
+                at_ms: 140,
+                op: FaultOp::LinkUp(0),
+            },
+        ],
+        settle_ms: 60_000,
+    };
+    let outcome = run_packet(&scenario, &params, &cfg);
+    let violation = outcome.violation.as_ref().expect("the bug must fire");
+    assert_eq!(violation.kind(), "skeptic-hold");
+    assert!(
+        !outcome.records.is_empty(),
+        "failing outcomes must carry the event spine"
+    );
+
+    let rep = packet_reproducer(&scenario, &params, &cfg).expect("the failure shrinks");
+    let dir = write_postmortem(
+        &default_postmortem_dir(),
+        &scenario.name,
+        &scenario,
+        &outcome,
+        Some(&rep),
+        &PostmortemConfig::default(),
+    )
+    .expect("bundle written");
+    assert!(dir.ends_with("forced-postmortem-skeptic-hold"));
+
+    let read = |f: &str| -> String {
+        std::fs::read_to_string(dir.join(f)).unwrap_or_else(|e| panic!("bundle misses {f}: {e}"))
+    };
+    let summary = read("summary.txt");
+    assert!(summary.contains("violation kind: skeptic-hold"));
+    assert!(
+        summary.contains("Scenario {"),
+        "summary embeds the scenario"
+    );
+    assert!(summary.contains("files: events.jsonl, spans.trace.json, metrics.jsonl, reproducer.rs"));
+    let events = read("events.jsonl");
+    assert!(!events.is_empty(), "the violation window holds events");
+    assert!(events.lines().all(|l| l.starts_with('{')));
+    let trace = read("spans.trace.json");
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(
+        trace.contains("\"ph\":\"X\""),
+        "the run's epochs appear as spans"
+    );
+    let metrics = read("metrics.jsonl");
+    assert!(
+        metrics.contains("\"p999_ns\""),
+        "quantiles reach the bundle"
+    );
+    let repro = read("reproducer.rs");
+    assert!(repro.contains("fn reproduces_skeptic_hold()"));
+
+    // The convenience hook writes the same bundle and reports its path.
+    assert_eq!(
+        postmortem_on_failure(&scenario.name, &scenario, &outcome, Some(&rep)),
+        Some(dir)
+    );
 }
 
 /// The hosted corpus: dual-homed hosts on every switch, probe flows

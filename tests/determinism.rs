@@ -148,6 +148,57 @@ fn disabled_tracing_keeps_the_datapath_byte_identical() {
     assert_eq!(events(&on), events(&off), "event log must be bit-identical");
 }
 
+/// The observability layers added on top of the raw records inherit the
+/// same guarantee: with tracing off the span tree derived from the run
+/// is empty (its Chrome-trace export carries metadata only, no spans)
+/// and the partitioned kernel allocates no shard telemetry at all —
+/// `shard_telemetry`, `kernel_metrics`, `barrier_wait_fraction` and
+/// `load_imbalance` are `None`, not zeros. With tracing on, all of them
+/// materialize. (The name keeps this under the `disabled_tracing`
+/// overhead gate in scripts/check.sh.)
+#[test]
+fn disabled_tracing_disables_spans_and_kernel_telemetry() {
+    let run = |tracing: bool| {
+        let params = NetParams {
+            tracing,
+            ..NetParams::tuned()
+        };
+        let mut net = PartitionedNetwork::new(gen::torus(4, 4, 21), params, 6, 2);
+        net.run_for(SimDuration::from_millis(600)); // bring-up
+        net.schedule_link_down(net.now() + SimDuration::from_millis(1), LinkId(1));
+        net.run_for(SimDuration::from_millis(600));
+        net
+    };
+    let off = run(false);
+    assert!(off.shard_telemetry().is_none(), "no telemetry allocated");
+    assert!(off.kernel_metrics().is_none());
+    assert!(off.barrier_wait_fraction().is_none());
+    assert!(off.load_imbalance().is_none());
+    let tree = autonet::trace::Timeline::build(&off.merged_trace_records()).span_tree();
+    assert!(tree.is_empty(), "no records, no spans");
+    let export = tree.to_chrome_trace();
+    assert!(
+        !export.contains("\"ph\":\"X\""),
+        "untraced export must hold no spans: {export}"
+    );
+
+    let on = run(true);
+    let tel = on.shard_telemetry().expect("telemetry allocated");
+    assert_eq!(tel.len(), 2, "one telemetry block per shard");
+    assert!(tel.iter().map(|t| t.events).sum::<u64>() > 0);
+    let metrics = on.kernel_metrics().expect("kernel metrics materialize");
+    assert_eq!(
+        metrics.counter("kernel.events"),
+        on.events_processed(),
+        "merged kernel.events counter covers every processed event"
+    );
+    assert!(on.barrier_wait_fraction().is_some());
+    assert!(on.load_imbalance().unwrap() >= 1.0);
+    let tree = autonet::trace::Timeline::build(&on.merged_trace_records()).span_tree();
+    assert!(!tree.is_empty(), "traced run settles epochs");
+    tree.check_well_formed().expect("well-formed span tree");
+}
+
 /// Everything observable a partitioned campaign produces, in canonical
 /// (partition-count-independent) form.
 struct PartitionedHistory {

@@ -23,9 +23,16 @@ use autonet::trace::{to_jsonl, InterruptionConfig, InterruptionReport, Timeline,
 use autonet::wire::Uid;
 
 fn golden_path(name: &str) -> PathBuf {
+    // Names without an extension are event streams (`.jsonl`); names
+    // carrying one (e.g. `single_link_cut.trace.json`) are kept as-is.
+    let file = if name.contains('.') {
+        name.to_string()
+    } else {
+        format!("{name}.jsonl")
+    };
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests/goldens")
-        .join(format!("{name}.jsonl"))
+        .join(file)
 }
 
 /// Compares against (or, under `UPDATE_GOLDENS=1`, rewrites) the golden.
@@ -146,6 +153,19 @@ fn run_interruption_single_link_cut() -> String {
 #[test]
 fn golden_single_link_cut() {
     assert_golden("single_link_cut", &to_jsonl(&run_single_link_cut()));
+}
+
+/// The causal span export of the canonical scenario is golden too: the
+/// Chrome Trace Event Format bytes (ready for <https://ui.perfetto.dev>)
+/// pin the span-tree derivation — epoch boundaries, phase attribution,
+/// thread layout — on top of the raw event stream pinned above.
+#[test]
+fn golden_single_link_cut_chrome_trace() {
+    let records = run_single_link_cut();
+    let timeline = Timeline::build(&records);
+    let tree = timeline.span_tree();
+    tree.check_well_formed().expect("golden span tree");
+    assert_golden("single_link_cut.trace.json", &tree.to_chrome_trace());
 }
 
 #[test]

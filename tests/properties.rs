@@ -601,6 +601,64 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case is a full packet-level run; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The causal span tree derived from random multi-fault campaigns is
+    /// always well-formed: every epoch span carries the six phases in
+    /// pipeline order telescoping to the span bounds, per-node phase
+    /// intervals never overlap, and nested blackouts stay inside their
+    /// epoch (see `SpanTree::check_well_formed`). The Chrome-trace export
+    /// of the same tree must be byte-deterministic.
+    #[test]
+    fn span_trees_are_well_formed_on_random_campaigns(
+        n in 4usize..10,
+        extra in 0usize..4,
+        topo_seed in 1u64..500,
+        sim_seed in 1u64..500,
+        cuts in proptest::collection::vec(0usize..40, 1..4),
+    ) {
+        let topo = gen::random_connected(n, extra, topo_seed);
+        let nlinks = topo.num_links();
+        let mut net = autonet::net::Network::new(
+            topo,
+            autonet::net::NetParams::tuned(),
+            sim_seed,
+        );
+        prop_assert!(
+            net.run_until_stable(SimTime::from_secs(120)).is_some(),
+            "bring-up converges"
+        );
+        let mut down: Vec<usize> = Vec::new();
+        for cut in cuts {
+            let l = cut % nlinks;
+            let at = net.now() + SimDuration::from_millis(1);
+            if down.contains(&l) {
+                net.schedule_link_up(at, autonet::topo::LinkId(l));
+                down.retain(|&x| x != l);
+            } else {
+                net.schedule_link_down(at, autonet::topo::LinkId(l));
+                down.push(l);
+            }
+            prop_assert!(
+                net.run_until_stable(net.now() + SimDuration::from_secs(120)).is_some(),
+                "network heals around fault at link {l}"
+            );
+        }
+        let timeline = Timeline::build(net.trace_log().records());
+        let tree = timeline.span_tree();
+        let shape = tree.check_well_formed();
+        prop_assert!(shape.is_ok(), "span tree ill-formed: {}", shape.unwrap_err());
+        prop_assert!(!tree.is_empty(), "bring-up alone must settle an epoch");
+        prop_assert_eq!(
+            tree.to_chrome_trace(),
+            timeline.span_tree().to_chrome_trace(),
+            "span export must be deterministic"
+        );
+    }
+}
+
 /// Deterministic (non-proptest) property: the reference topology builder
 /// produces trees whose levels are exactly BFS distance from the minimum
 /// UID, across many seeds.
